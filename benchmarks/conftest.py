@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper on a scaled-down
+workload (see ``DESIGN.md`` §4 and ``EXPERIMENTS.md``).  The benchmarks use
+``benchmark.pedantic(..., rounds=1)`` because each "iteration" is a complete
+multi-node training experiment; pytest-benchmark still records the wall time
+and the assertions check the *shape* of the paper's result (who wins, by
+roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The workload scale shared by the experiment benchmarks."""
+    scale = ExperimentScale.small()
+    # Enough data that every worker shard holds a full 128-sample batch.
+    scale.dataset_size = 2400
+    scale.num_steps = 60
+    scale.eval_every = 10
+    return scale
+
+
+@pytest.fixture(scope="session")
+def paper_like_scale() -> ExperimentScale:
+    """The paper's 18-worker / 6-server cluster shape (still a small model)."""
+    scale = ExperimentScale.paper_like()
+    scale.num_steps = 40
+    scale.eval_every = 10
+    scale.dataset_size = 1500
+    scale.dataset = "blobs"
+    scale.model = "softmax"
+    return scale
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

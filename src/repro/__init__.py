@@ -1,0 +1,54 @@
+"""repro — reproduction of "Genuinely Distributed Byzantine Machine Learning".
+
+The package implements GuanYu (El-Mhamdi, Guerraoui, Guirguis, Rouault;
+PODC 2020): SGD-based distributed learning that tolerates up to one third of
+Byzantine *parameter servers* in addition to one third of Byzantine workers,
+over an asynchronous network.
+
+Sub-packages
+------------
+``repro.tensor``       reverse-mode autograd engine (TensorFlow substitute)
+``repro.nn``           layers, models (incl. the paper's Table 1 CNN), optimisers
+``repro.data``         synthetic datasets (CIFAR-10 substitute) and sharding
+``repro.aggregation``  gradient aggregation rules (median, Multi-Krum, ...)
+``repro.byzantine``    worker and server attack behaviours
+``repro.network``      seeded asynchronous network simulator
+``repro.runtime``      cost models and the thread-based runtime
+``repro.core``         the GuanYu protocol and its baselines
+``repro.metrics``      accuracy, throughput, training histories
+``repro.theory``       contraction / alignment / breakdown-point checks
+
+Quickstart
+----------
+>>> from repro import ClusterConfig, GuanYuTrainer
+>>> from repro.data import make_blobs_dataset
+>>> from repro.nn import build_model
+>>> data = make_blobs_dataset(num_samples=400, num_features=4, seed=1)
+>>> train, test = data.split(0.8, seed=1)
+>>> trainer = GuanYuTrainer(
+...     config=ClusterConfig(num_servers=4, num_workers=6),
+...     model_fn=lambda: build_model("softmax", in_features=4, num_classes=3),
+...     train_dataset=train, test_dataset=test, batch_size=16, seed=1)
+>>> history = trainer.run(num_steps=5, eval_every=5)
+>>> len(history) == 5
+True
+"""
+
+from repro.core import (
+    ClusterConfig,
+    DistributedTrainer,
+    GuanYuTrainer,
+    SingleServerKrumTrainer,
+    VanillaTrainer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "DistributedTrainer",
+    "GuanYuTrainer",
+    "VanillaTrainer",
+    "SingleServerKrumTrainer",
+    "__version__",
+]

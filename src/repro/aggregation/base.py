@@ -1,0 +1,89 @@
+"""Base class and helpers shared by all gradient aggregation rules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+VectorList = Union[Sequence[np.ndarray], np.ndarray]
+
+
+def check_vectors(vectors: VectorList) -> np.ndarray:
+    """Validate and stack a list of vectors into an ``(n, d)`` array.
+
+    Raises
+    ------
+    ValueError
+        If the list is empty, the vectors have mismatched shapes, or any
+        entry contains NaN/Inf (a Byzantine message that reached this point
+        should already have been sanitised by the node's ingress filter).
+    """
+    if isinstance(vectors, np.ndarray) and vectors.ndim == 2:
+        stacked = np.asarray(vectors, dtype=np.float64)
+    else:
+        vectors = list(vectors)
+        if not vectors:
+            raise ValueError("cannot aggregate an empty list of vectors")
+        first_shape = np.asarray(vectors[0]).shape
+        for index, vector in enumerate(vectors):
+            if np.asarray(vector).shape != first_shape:
+                raise ValueError(
+                    f"vector {index} has shape {np.asarray(vector).shape}, "
+                    f"expected {first_shape}"
+                )
+        stacked = np.stack([np.asarray(v, dtype=np.float64).reshape(-1) for v in vectors])
+    if stacked.ndim != 2:
+        raise ValueError("expected a list of 1-D vectors")
+    if not np.all(np.isfinite(stacked)):
+        raise ValueError("aggregation input contains NaN or Inf values")
+    return stacked
+
+
+class GradientAggregationRule:
+    """Abstract gradient aggregation rule (GAR).
+
+    Subclasses implement :meth:`_aggregate` on a validated ``(n, d)`` array.
+
+    Parameters
+    ----------
+    num_byzantine:
+        The number ``f`` of inputs the rule is configured to tolerate.  The
+        arithmetic mean ignores it; robust rules use it to size their
+        selection sets and to validate that enough inputs were supplied.
+    """
+
+    #: short identifier used by the registry and experiment configs
+    name: str = "abstract"
+    #: whether the rule provides (α, f)-Byzantine resilience for f > 0
+    byzantine_resilient: bool = False
+
+    def __init__(self, num_byzantine: int = 0) -> None:
+        if num_byzantine < 0:
+            raise ValueError("num_byzantine must be non-negative")
+        self.num_byzantine = int(num_byzantine)
+
+    # ------------------------------------------------------------------ #
+    def minimum_inputs(self) -> int:
+        """Smallest number of input vectors the rule accepts."""
+        return 1
+
+    def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, vectors: VectorList) -> np.ndarray:
+        """Aggregate ``vectors`` into a single vector."""
+        stacked = check_vectors(vectors)
+        if stacked.shape[0] < self.minimum_inputs():
+            raise ValueError(
+                f"{self.name} with f={self.num_byzantine} requires at least "
+                f"{self.minimum_inputs()} inputs, got {stacked.shape[0]}"
+            )
+        return self._aggregate(stacked)
+
+    def aggregate(self, vectors: VectorList) -> np.ndarray:
+        """Alias of :meth:`__call__` for readability at call sites."""
+        return self(vectors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(num_byzantine={self.num_byzantine})"

@@ -1,0 +1,60 @@
+"""Bulyan (El-Mhamdi et al., ICML 2018).
+
+Bulyan combats the "hidden vulnerability" of distance-based rules in high
+dimension by composing a selection rule (Krum here) with a per-coordinate
+trimmed average.  It is not used by GuanYu itself but is included as an
+ablation comparator for the server-side gradient aggregation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import GradientAggregationRule
+from repro.aggregation.krum import Krum
+
+
+class Bulyan(GradientAggregationRule):
+    """Bulyan aggregation: iterated Krum selection + trimmed coordinate mean.
+
+    Requires ``n ≥ 4f + 3`` inputs.  The rule repeatedly runs Krum to select
+    ``n − 2f`` vectors, then for each coordinate averages the ``n − 4f``
+    values closest to the coordinate-wise median of the selection.
+    """
+
+    name = "bulyan"
+    byzantine_resilient = True
+
+    def minimum_inputs(self) -> int:
+        return 4 * self.num_byzantine + 3
+
+    def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
+        f = self.num_byzantine
+        n = stacked.shape[0]
+        if f == 0:
+            return stacked.mean(axis=0)
+
+        selection_size = n - 2 * f
+        remaining = list(range(n))
+        selected = []
+        krum = Krum(num_byzantine=f)
+        while len(selected) < selection_size:
+            subset = stacked[remaining]
+            # Krum needs n - f - 2 >= 1; fall back to smallest-norm choice when
+            # the remaining pool becomes too small for a full Krum round.
+            if subset.shape[0] - f - 2 >= 1:
+                choice_local = krum.select(subset)
+            else:
+                choice_local = int(np.argmin(np.linalg.norm(subset, axis=1)))
+            choice = remaining.pop(choice_local)
+            selected.append(choice)
+
+        chosen = stacked[selected]
+        beta = chosen.shape[0] - 2 * f
+        if beta < 1:
+            beta = 1
+        median = np.median(chosen, axis=0)
+        distances = np.abs(chosen - median)
+        closest = np.argsort(distances, axis=0, kind="stable")[:beta]
+        columns = np.arange(chosen.shape[1])
+        return chosen[closest, columns].mean(axis=0)

@@ -1,0 +1,58 @@
+"""Registry of gradient aggregation rules.
+
+Experiments refer to GARs by name (``"median"``, ``"multi_krum"``, ...);
+the registry turns those names into configured rule instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.aggregation.base import GradientAggregationRule
+from repro.aggregation.bulyan import Bulyan
+from repro.aggregation.geometric_median import GeometricMedian
+from repro.aggregation.krum import Krum, MultiKrum
+from repro.aggregation.mean import ArithmeticMean, TrimmedMean
+from repro.aggregation.median import CoordinateWiseMedian, MarginalMedian
+
+_REGISTRY: Dict[str, Type[GradientAggregationRule]] = {}
+
+
+def register_rule(rule_class: Type[GradientAggregationRule]) -> Type[GradientAggregationRule]:
+    """Register a GAR class under its :attr:`name` attribute."""
+    name = rule_class.name
+    if not name or name == "abstract":
+        raise ValueError("rule classes must define a non-empty 'name'")
+    _REGISTRY[name] = rule_class
+    return rule_class
+
+
+for _rule in (ArithmeticMean, TrimmedMean, CoordinateWiseMedian, MarginalMedian,
+              Krum, MultiKrum, Bulyan, GeometricMedian):
+    register_rule(_rule)
+
+
+def available_rules() -> List[str]:
+    """Names of all registered rules, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_rule(name: str, num_byzantine: int = 0, **kwargs) -> GradientAggregationRule:
+    """Instantiate a registered rule by name.
+
+    Parameters
+    ----------
+    name:
+        Registered rule name, e.g. ``"median"`` or ``"multi_krum"``.
+    num_byzantine:
+        Declared number of Byzantine inputs ``f``.
+    kwargs:
+        Extra keyword arguments forwarded to the rule constructor.
+    """
+    try:
+        rule_class = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown aggregation rule '{name}'; available: {available_rules()}"
+        ) from None
+    return rule_class(num_byzantine=num_byzantine, **kwargs)

@@ -1,0 +1,51 @@
+"""Byzantine behaviours for workers and parameter servers.
+
+The paper (Section 5.1 and 5.4) groups Byzantine actions into four classes:
+
+1. sending corrupted gradients to parameter servers (worker attack),
+2. sending corrupted parameter vectors/models to workers (server attack),
+3. sending *different* replies to different participants (equivocation),
+4. not responding at all (silence).
+
+Each class is implemented here, plus stronger attacks from the follow-up
+literature (reversed gradients, sign flipping, "a little is enough"-style
+variance attacks, label-flip data poisoning) for the attack-sweep ablation.
+"""
+
+from repro.byzantine.base import AttackContext, ServerAttack, WorkerAttack
+from repro.byzantine.worker_attacks import (
+    LabelFlipPoisoning,
+    LittleIsEnoughAttack,
+    RandomGradientAttack,
+    ReversedGradientAttack,
+    SignFlipAttack,
+    SilentWorker,
+)
+from repro.byzantine.server_attacks import (
+    CorruptedModelAttack,
+    EquivocationAttack,
+    RandomModelAttack,
+    SilentServer,
+    StaleModelAttack,
+)
+from repro.byzantine.registry import available_attacks, get_attack, register_attack
+
+__all__ = [
+    "AttackContext",
+    "WorkerAttack",
+    "ServerAttack",
+    "RandomGradientAttack",
+    "ReversedGradientAttack",
+    "SignFlipAttack",
+    "LittleIsEnoughAttack",
+    "LabelFlipPoisoning",
+    "SilentWorker",
+    "CorruptedModelAttack",
+    "RandomModelAttack",
+    "EquivocationAttack",
+    "StaleModelAttack",
+    "SilentServer",
+    "get_attack",
+    "register_attack",
+    "available_attacks",
+]

@@ -1,0 +1,90 @@
+"""Interfaces shared by all Byzantine behaviours.
+
+The adversary of the paper is *omniscient*: it can read the memory of every
+node and every in-flight message, and all Byzantine nodes cooperate as one
+entity.  :class:`AttackContext` carries that knowledge (the honest value the
+node would have sent, the peer values the adversary can observe, the current
+step) into the attack implementations, which are otherwise pure functions.
+The adversary is not omnipotent: attacks only decide what the Byzantine
+node *sends*; they never modify other nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass
+class AttackContext:
+    """Information available to the (omniscient) adversary when attacking.
+
+    Attributes
+    ----------
+    step:
+        Current learning step ``t``.
+    honest_value:
+        The vector (gradient or parameter vector) the node would send if it
+        were honest.
+    peer_values:
+        Vectors the adversary can observe from other nodes at this step
+        (e.g. the honest workers' gradients), used by omniscient attacks such
+        as "a little is enough".
+    rng:
+        Random generator owned by the adversary (seeded per experiment).
+    recipient:
+        Identifier of the node the message is being sent to; equivocation
+        attacks send different values to different recipients.
+    """
+
+    step: int
+    honest_value: np.ndarray
+    peer_values: Sequence[np.ndarray] = field(default_factory=list)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    recipient: Optional[str] = None
+
+
+class WorkerAttack:
+    """A Byzantine worker behaviour.
+
+    Subclasses implement :meth:`corrupt_gradient`, mapping the honest
+    gradient the worker computed to the gradient actually sent to a given
+    parameter server.  Returning ``None`` means "stay silent towards that
+    recipient".
+    """
+
+    name: str = "abstract_worker_attack"
+
+    def corrupt_gradient(self, context: AttackContext) -> Optional[np.ndarray]:
+        raise NotImplementedError
+
+    def poison_batch(self, features: np.ndarray, labels: np.ndarray,
+                     context: AttackContext):
+        """Optionally poison the local training batch (data poisoning).
+
+        The default is a no-op; :class:`LabelFlipPoisoning` overrides it.
+        Returns the possibly-modified ``(features, labels)``.
+        """
+        return features, labels
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class ServerAttack:
+    """A Byzantine parameter-server behaviour.
+
+    Subclasses implement :meth:`corrupt_model`, mapping the model the server
+    would honestly send to the model actually sent to a given recipient
+    (worker or fellow server).  Returning ``None`` means silence.
+    """
+
+    name: str = "abstract_server_attack"
+
+    def corrupt_model(self, context: AttackContext) -> Optional[np.ndarray]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"

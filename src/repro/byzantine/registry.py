@@ -1,0 +1,58 @@
+"""Registry mapping attack names to behaviour classes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, Union
+
+from repro.byzantine.base import ServerAttack, WorkerAttack
+from repro.byzantine.server_attacks import (
+    CorruptedModelAttack,
+    EquivocationAttack,
+    RandomModelAttack,
+    SilentServer,
+    StaleModelAttack,
+)
+from repro.byzantine.worker_attacks import (
+    LabelFlipPoisoning,
+    LittleIsEnoughAttack,
+    RandomGradientAttack,
+    ReversedGradientAttack,
+    SignFlipAttack,
+    SilentWorker,
+)
+
+AttackClass = Union[Type[WorkerAttack], Type[ServerAttack]]
+
+_REGISTRY: Dict[str, AttackClass] = {}
+
+
+def register_attack(attack_class: AttackClass) -> AttackClass:
+    """Register an attack class under its :attr:`name` attribute."""
+    name = attack_class.name
+    if not name or name.startswith("abstract"):
+        raise ValueError("attack classes must define a non-empty 'name'")
+    _REGISTRY[name] = attack_class
+    return attack_class
+
+
+for _attack in (RandomGradientAttack, ReversedGradientAttack, SignFlipAttack,
+                LittleIsEnoughAttack, LabelFlipPoisoning, SilentWorker,
+                CorruptedModelAttack, RandomModelAttack, EquivocationAttack,
+                StaleModelAttack, SilentServer):
+    register_attack(_attack)
+
+
+def available_attacks() -> List[str]:
+    """Names of all registered attacks, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_attack(name: str, **kwargs) -> Union[WorkerAttack, ServerAttack]:
+    """Instantiate a registered attack by name."""
+    try:
+        attack_class = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack '{name}'; available: {available_attacks()}"
+        ) from None
+    return attack_class(**kwargs)

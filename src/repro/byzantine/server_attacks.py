@@ -1,0 +1,100 @@
+"""Byzantine parameter-server behaviours (model attacks)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, ServerAttack
+
+
+class CorruptedModelAttack(ServerAttack):
+    """Send a heavily corrupted model (honest model plus large noise).
+
+    Mirrors the paper's severe attack in which a Byzantine server sends "bad
+    data ... compared to the correct one it should send".
+    """
+
+    name = "corrupted_model"
+
+    def __init__(self, noise_scale: float = 50.0) -> None:
+        if noise_scale <= 0:
+            raise ValueError("noise_scale must be positive")
+        self.noise_scale = noise_scale
+
+    def corrupt_model(self, context: AttackContext) -> np.ndarray:
+        noise = context.rng.normal(0.0, self.noise_scale,
+                                   size=context.honest_value.shape)
+        return context.honest_value + noise
+
+
+class RandomModelAttack(ServerAttack):
+    """Send a model drawn from a wide Gaussian, unrelated to the true model."""
+
+    name = "random_model"
+
+    def __init__(self, scale: float = 100.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def corrupt_model(self, context: AttackContext) -> np.ndarray:
+        return context.rng.normal(0.0, self.scale, size=context.honest_value.shape)
+
+
+class EquivocationAttack(ServerAttack):
+    """Send *different* corrupted models to different recipients.
+
+    This is the scheme the paper explicitly experiments with ("a parameter
+    server sends different (bad) models to different workers in the same
+    iteration").  Each recipient gets the honest model shifted in a
+    recipient-specific random direction, so no two receivers can compare
+    notes and see the same value.
+    """
+
+    name = "equivocation"
+
+    def __init__(self, magnitude: float = 25.0) -> None:
+        if magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        self.magnitude = magnitude
+
+    def corrupt_model(self, context: AttackContext) -> np.ndarray:
+        # Derive a deterministic per-recipient direction so that the same
+        # recipient consistently receives the same lie within a step.
+        recipient_seed = hash((context.recipient, context.step)) % (2 ** 32)
+        recipient_rng = np.random.default_rng(recipient_seed)
+        direction = recipient_rng.normal(0.0, 1.0, size=context.honest_value.shape)
+        norm = np.linalg.norm(direction)
+        if norm > 0:
+            direction = direction / norm
+        scale = self.magnitude * max(1.0, float(np.linalg.norm(context.honest_value)))
+        return context.honest_value + scale * direction
+
+
+class StaleModelAttack(ServerAttack):
+    """Always send the initial model, never making progress.
+
+    A subtle attack: the value is plausible (it was once a correct model) but
+    frozen in time, attempting to hold the median back.
+    """
+
+    name = "stale_model"
+
+    def __init__(self) -> None:
+        self._frozen: Optional[np.ndarray] = None
+
+    def corrupt_model(self, context: AttackContext) -> np.ndarray:
+        if self._frozen is None:
+            self._frozen = np.array(context.honest_value, copy=True)
+        return self._frozen.copy()
+
+
+class SilentServer(ServerAttack):
+    """Never respond to any request."""
+
+    name = "silent_server"
+
+    def corrupt_model(self, context: AttackContext) -> Optional[np.ndarray]:
+        return None

@@ -1,0 +1,120 @@
+"""Byzantine worker behaviours (gradient attacks and data poisoning)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, WorkerAttack
+
+
+class RandomGradientAttack(WorkerAttack):
+    """Send a totally corrupted gradient drawn from a wide Gaussian.
+
+    This is the "severe attack" of the paper's Section 5.1: the Byzantine
+    worker sends data unrelated to (and much larger than) the correct
+    gradient, which pulls averaging-based learning out of the convergence
+    region immediately.
+    """
+
+    name = "random_gradient"
+
+    def __init__(self, scale: float = 100.0) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def corrupt_gradient(self, context: AttackContext) -> np.ndarray:
+        return context.rng.normal(0.0, self.scale, size=context.honest_value.shape)
+
+
+class ReversedGradientAttack(WorkerAttack):
+    """Send the honest gradient multiplied by a large negative factor.
+
+    Drives gradient *ascent* on the loss if it survives aggregation.
+    """
+
+    name = "reversed_gradient"
+
+    def __init__(self, factor: float = 10.0) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        self.factor = factor
+
+    def corrupt_gradient(self, context: AttackContext) -> np.ndarray:
+        return -self.factor * context.honest_value
+
+
+class SignFlipAttack(WorkerAttack):
+    """Flip the sign of every coordinate of the honest gradient."""
+
+    name = "sign_flip"
+
+    def corrupt_gradient(self, context: AttackContext) -> np.ndarray:
+        return -context.honest_value
+
+
+class LittleIsEnoughAttack(WorkerAttack):
+    """Variance-scaled perturbation ("a little is enough", Baruch et al.).
+
+    The omniscient adversary observes the correct workers' gradients, then
+    sends ``mean - z * std`` coordinate-wise.  With a carefully small ``z``
+    the attack stays within the natural noise envelope and can defeat naive
+    per-coordinate defences while remaining hard to filter.
+    """
+
+    name = "little_is_enough"
+
+    def __init__(self, z_factor: float = 1.5) -> None:
+        self.z_factor = z_factor
+
+    def corrupt_gradient(self, context: AttackContext) -> np.ndarray:
+        peers = [np.asarray(v) for v in context.peer_values]
+        if len(peers) < 2:
+            # Without visibility of peers, fall back to attacking the honest value.
+            return -self.z_factor * context.honest_value
+        stacked = np.stack(peers)
+        mean = stacked.mean(axis=0)
+        std = stacked.std(axis=0)
+        return mean - self.z_factor * std
+
+
+class LabelFlipPoisoning(WorkerAttack):
+    """Data poisoning: train on flipped labels and send the honest-looking
+    gradient of the poisoned objective.
+
+    This models the paper's motivating scenario (mislabelled content
+    poisoning a recommender) rather than an arbitrary-message attack: the
+    gradient is a *real* gradient, just of the wrong objective.
+    """
+
+    name = "label_flip"
+
+    def __init__(self, num_classes: int = 10) -> None:
+        if num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        self.num_classes = num_classes
+
+    def poison_batch(self, features: np.ndarray, labels: np.ndarray,
+                     context: AttackContext):
+        flipped = (self.num_classes - 1) - np.asarray(labels)
+        return features, flipped
+
+    def corrupt_gradient(self, context: AttackContext) -> np.ndarray:
+        # The gradient was already computed on the poisoned batch.
+        return context.honest_value
+
+
+class SilentWorker(WorkerAttack):
+    """Never respond.
+
+    The paper notes this is the least harmful Byzantine option (even vanilla
+    deployments converge with a silent node); it exists to exercise the
+    quorum logic under missing messages.
+    """
+
+    name = "silent_worker"
+
+    def corrupt_gradient(self, context: AttackContext) -> Optional[np.ndarray]:
+        return None

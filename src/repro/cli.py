@@ -1,0 +1,225 @@
+"""Command-line interface to the experiment harnesses.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1
+    python -m repro.cli figure3 --batch-size 128 --x-axis time
+    python -m repro.cli figure4
+    python -m repro.cli table2
+    python -m repro.cli overhead
+    python -m repro.cli attacks
+    python -m repro.cli scaling --workers 6 9 12 18
+    python -m repro.cli quorums
+
+Every subcommand prints the regenerated table/figure as text (and an ASCII
+chart where the paper has a figure); ``--json PATH`` additionally writes the
+raw histories/rows for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional
+
+from repro.experiments import (
+    ExperimentScale,
+    overhead_report,
+    run_attack_sweep,
+    run_figure3,
+    run_figure4,
+    run_gar_ablation,
+    run_quorum_ablation,
+    run_scaling_study,
+    run_table2,
+    table1_report,
+)
+from repro.metrics.tracker import TrainingHistory
+from repro.plotting import format_table, histories_summary_table, render_histories
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    scale = ExperimentScale.small() if args.preset == "small" \
+        else ExperimentScale.paper_like()
+    if args.steps is not None:
+        scale.num_steps = args.steps
+    if args.workers_count is not None:
+        scale.num_workers = args.workers_count
+    if args.servers_count is not None:
+        scale.num_servers = args.servers_count
+    if args.seed is not None:
+        scale.seed = args.seed
+    # Keep the declared Byzantine counts admissible (n >= 3f + 3) after any
+    # cluster-size overrides.
+    scale.declared_byzantine_workers = min(scale.declared_byzantine_workers,
+                                           (scale.num_workers - 3) // 3)
+    scale.declared_byzantine_servers = min(scale.declared_byzantine_servers,
+                                           (scale.num_servers - 3) // 3)
+    scale.dataset_size = max(scale.dataset_size, 2400)
+    return scale
+
+
+def _dump_json(path: Optional[str], payload) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    print(f"\n(wrote raw results to {path})")
+
+
+def _histories_payload(histories: Dict[str, TrainingHistory]) -> Dict:
+    return {name: history.to_dict() for name, history in histories.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def cmd_table1(args: argparse.Namespace) -> int:
+    report = table1_report()
+    print("Table 1 — CNN model parameters")
+    print(format_table(report["layers"]))
+    print(f"\ntotal parameters: {report['total_parameters']:,} "
+          f"(paper: ~{report['paper_total_parameters']:,})")
+    _dump_json(args.json, report)
+    return 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    result = run_figure3(scale=scale, batch_size=args.batch_size)
+    print(f"Figure 3 — batch size {result.batch_size}, non-Byzantine environment\n")
+    print(histories_summary_table(result.histories,
+                                  target_accuracy=result.reference_accuracy()))
+    print("\n" + render_histories(result.histories, x_axis=args.x_axis))
+    _dump_json(args.json, _histories_payload(result.histories))
+    return 0
+
+
+def cmd_figure4(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    result = run_figure4(scale=scale)
+    print("Figure 4 — impact of Byzantine players on convergence\n")
+    print(histories_summary_table(result.histories))
+    print("\n" + render_histories(result.histories, x_axis="steps"))
+    _dump_json(args.json, _histories_payload(result.histories))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    samples = run_table2(scale=scale, interval=args.interval)
+    rows = [{"step": s.step, "cos_phi": s.cos_phi, "max_diff1": s.max_diff_1,
+             "max_diff2": s.max_diff_2} for s in samples]
+    print("Table 2 — alignment of parameter-difference vectors")
+    print(format_table(rows, float_format="{:.5f}"))
+    _dump_json(args.json, rows)
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    report = overhead_report(scale=scale)
+    print("Section 5.3 — overhead breakdown "
+          "(paper: ~65 % runtime, up to ~33 % Byzantine)\n")
+    print(format_table([report.as_rows()]))
+    _dump_json(args.json, report.as_rows())
+    return 0
+
+
+def cmd_attacks(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    histories = run_attack_sweep(scale=scale)
+    print("Attack sweep — GuanYu under every registered attack\n")
+    print(histories_summary_table(histories))
+    _dump_json(args.json, _histories_payload(histories))
+    return 0
+
+
+def cmd_gars(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    histories = run_gar_ablation(scale=scale)
+    print("GAR ablation — server-side aggregation rule under attack\n")
+    print(histories_summary_table(histories))
+    _dump_json(args.json, _histories_payload(histories))
+    return 0
+
+
+def cmd_quorums(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    histories = run_quorum_ablation(scale=scale)
+    renamed = {f"q={quorum}": history for quorum, history in histories.items()}
+    print("Quorum ablation — gradient quorum vs. throughput\n")
+    print(histories_summary_table(renamed))
+    _dump_json(args.json, _histories_payload(renamed))
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    rows = run_scaling_study(scale=scale, worker_counts=tuple(args.workers))
+    print("Scaling study — workers vs. throughput\n")
+    print(format_table(rows))
+    _dump_json(args.json, rows)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of the GuanYu paper.")
+    parser.add_argument("--json", help="write raw results to this JSON file")
+    parser.add_argument("--preset", choices=("small", "paper"), default="small",
+                        help="workload preset (default: small)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="override the number of model updates")
+    parser.add_argument("--workers-count", type=int, default=None,
+                        help="override the number of workers")
+    parser.add_argument("--servers-count", type=int, default=None,
+                        help="override the number of parameter servers")
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="Table 1: CNN architecture") \
+        .set_defaults(func=cmd_table1)
+
+    figure3 = subparsers.add_parser("figure3", help="Figure 3: overhead comparison")
+    figure3.add_argument("--batch-size", type=int, default=128)
+    figure3.add_argument("--x-axis", choices=("steps", "time"), default="steps")
+    figure3.set_defaults(func=cmd_figure3)
+
+    subparsers.add_parser("figure4", help="Figure 4: Byzantine impact") \
+        .set_defaults(func=cmd_figure4)
+
+    table2 = subparsers.add_parser("table2", help="Table 2: parameter alignment")
+    table2.add_argument("--interval", type=int, default=10)
+    table2.set_defaults(func=cmd_table2)
+
+    subparsers.add_parser("overhead", help="Section 5.3 overhead breakdown") \
+        .set_defaults(func=cmd_overhead)
+    subparsers.add_parser("attacks", help="attack sweep ablation") \
+        .set_defaults(func=cmd_attacks)
+    subparsers.add_parser("gars", help="aggregation-rule ablation") \
+        .set_defaults(func=cmd_gars)
+    subparsers.add_parser("quorums", help="quorum-size ablation") \
+        .set_defaults(func=cmd_quorums)
+
+    scaling = subparsers.add_parser("scaling", help="cluster scaling study")
+    scaling.add_argument("--workers", type=int, nargs="+", default=[6, 9, 12, 18])
+    scaling.set_defaults(func=cmd_scaling)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point: parse arguments and dispatch to the chosen subcommand."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""GuanYu: Byzantine-resilient SGD with replicated, untrusted parameter servers.
+
+This package contains the paper's primary contribution:
+
+* :class:`ClusterConfig` — the ``(n, f, n̄, f̄, q, q̄)`` arithmetic of
+  Section 3.2, with every constraint checked;
+* :class:`WorkerNode` / :class:`ServerNode` — the per-node state machines
+  (model aggregation with the coordinate-wise median, gradient computation,
+  Multi-Krum aggregation, local SGD update, inter-server model exchange);
+* :class:`GuanYuTrainer` — the three-phase protocol of Section 3.3 driven
+  over the asynchronous network simulator;
+* :class:`VanillaTrainer` — the single-trusted-server baselines
+  ("vanilla TF" and "vanilla GuanYu" of Section 5.3);
+* :class:`SingleServerKrumTrainer` — the prior-work baseline (Byzantine
+  workers only, trusted server).
+"""
+
+from repro.core.config import ClusterConfig
+from repro.core.nodes import ServerNode, WorkerNode
+from repro.core.trainer import (
+    DistributedTrainer,
+    GuanYuTrainer,
+    SingleServerKrumTrainer,
+    VanillaTrainer,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "WorkerNode",
+    "ServerNode",
+    "DistributedTrainer",
+    "GuanYuTrainer",
+    "VanillaTrainer",
+    "SingleServerKrumTrainer",
+]

@@ -1,0 +1,112 @@
+"""Checkpointing of distributed training state.
+
+A checkpoint stores, for every correct parameter server, its flat parameter
+vector, plus the step counter and the experiment configuration.  It lets an
+operator stop a long run and resume it, or hand a converged model to the
+evaluation tooling without re-running the protocol.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+_MANIFEST_NAME = "manifest.json"
+_ARRAYS_NAME = "parameters.npz"
+
+
+def save_checkpoint(directory: PathLike, server_parameters: Dict[str, np.ndarray],
+                    step: int, config: Optional[Dict] = None) -> Path:
+    """Write a checkpoint to ``directory`` (created if missing).
+
+    Parameters
+    ----------
+    directory:
+        Target directory; two files are written, a JSON manifest and an
+        ``.npz`` archive with one array per server.
+    server_parameters:
+        Mapping from server id (e.g. ``"ps/0"``) to its flat parameter vector.
+    step:
+        The step count at which the checkpoint was taken.
+    config:
+        Optional experiment configuration to embed in the manifest.
+    """
+    if not server_parameters:
+        raise ValueError("cannot checkpoint an empty set of server parameters")
+    if step < 0:
+        raise ValueError("step must be non-negative")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    # npz keys cannot contain '/', so index arrays positionally and keep the
+    # id ↔ index mapping in the manifest.
+    ordered_ids = sorted(server_parameters)
+    arrays = {f"server_{index}": np.asarray(server_parameters[server_id],
+                                            dtype=np.float64)
+              for index, server_id in enumerate(ordered_ids)}
+    np.savez_compressed(directory / _ARRAYS_NAME, **arrays)
+
+    manifest = {
+        "step": int(step),
+        "server_ids": ordered_ids,
+        "num_parameters": int(arrays["server_0"].size),
+        "config": config or {},
+    }
+    with open(directory / _MANIFEST_NAME, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+    return directory
+
+
+def load_checkpoint(directory: PathLike):
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    Returns
+    -------
+    (server_parameters, step, config):
+        The same mapping/step/config that were saved.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST_NAME
+    arrays_path = directory / _ARRAYS_NAME
+    if not manifest_path.exists() or not arrays_path.exists():
+        raise FileNotFoundError(f"no checkpoint found in {directory}")
+
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    archive = np.load(arrays_path)
+    server_parameters = {
+        server_id: archive[f"server_{index}"]
+        for index, server_id in enumerate(manifest["server_ids"])
+    }
+    return server_parameters, int(manifest["step"]), manifest.get("config", {})
+
+
+def checkpoint_trainer(trainer, directory: PathLike) -> Path:
+    """Checkpoint a :class:`~repro.core.trainer.GuanYuTrainer`'s correct servers."""
+    parameters = {server.node_id: server.current_parameters()
+                  for server in trainer.correct_servers}
+    step = trainer.history.total_steps()
+    return save_checkpoint(directory, parameters, step,
+                           config=dict(trainer.history.config))
+
+
+def restore_trainer(trainer, directory: PathLike) -> int:
+    """Restore server parameters saved by :func:`checkpoint_trainer`.
+
+    Only servers present in both the checkpoint and the trainer are restored;
+    returns the checkpointed step count so the caller can resume counting.
+    """
+    parameters, step, _ = load_checkpoint(directory)
+    restored = 0
+    for server in trainer.correct_servers:
+        if server.node_id in parameters:
+            server.model.set_flat_parameters(parameters[server.node_id])
+            restored += 1
+    if restored == 0:
+        raise ValueError("checkpoint does not match any server in the trainer")
+    return step

@@ -1,0 +1,209 @@
+"""Per-node state machines: workers and parameter servers.
+
+Nodes are deliberately free of any networking code: they expose pure
+"receive vectors → produce vector" methods, and the trainers / runtimes are
+responsible for moving those vectors across the (simulated or threaded)
+network.  This is the same separation the original implementation uses
+between the TensorFlow graph (local computation) and the gRPC plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aggregation.base import GradientAggregationRule
+from repro.byzantine.base import AttackContext, ServerAttack, WorkerAttack
+from repro.data.loader import DataLoader
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.schedules import ConstantSchedule, LearningRateSchedule
+from repro.tensor import Tensor
+
+
+@dataclass
+class GradientResult:
+    """Outcome of one worker gradient computation."""
+
+    gradient: np.ndarray
+    loss: float
+    batch_size: int
+
+
+class WorkerNode:
+    """A worker: aggregates server models with ``M`` and computes gradients.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier such as ``"worker/3"``.
+    model:
+        Local copy of the model (used only to run forward/backward passes).
+    loader:
+        Mini-batch source for this worker's data shard.
+    model_aggregator:
+        The GAR applied to the ``q`` received parameter vectors (the
+        coordinate-wise median in GuanYu).
+    attack:
+        Optional :class:`WorkerAttack` making this worker Byzantine.
+    seed:
+        Seed of the worker-local random generator (attack noise).
+    """
+
+    def __init__(self, node_id: str, model: Module, loader: DataLoader,
+                 model_aggregator: GradientAggregationRule,
+                 attack: Optional[WorkerAttack] = None, seed: int = 0) -> None:
+        self.node_id = node_id
+        self.model = model
+        self.loader = loader
+        self.model_aggregator = model_aggregator
+        self.attack = attack
+        self.criterion = CrossEntropyLoss()
+        self._rng = np.random.default_rng(seed)
+        self.last_result: Optional[GradientResult] = None
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self.attack is not None
+
+    # ------------------------------------------------------------------ #
+    def aggregate_models(self, parameter_vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Aggregate the first-``q`` received parameter vectors with ``M``."""
+        return self.model_aggregator(parameter_vectors)
+
+    def compute_gradient(self, parameter_vectors: Sequence[np.ndarray],
+                         step: int) -> GradientResult:
+        """Run one honest gradient computation at the aggregated model.
+
+        This is the worker side of phase 1: ``g = ∇̂L(M(θ^(a) ... θ^(b)))``.
+        Byzantine corruption, if any, is applied afterwards by
+        :meth:`outgoing_gradient` so that data-poisoning attacks (which act
+        on the batch, not the message) are still routed through here.
+        """
+        aggregated = self.aggregate_models(parameter_vectors)
+        self.model.set_flat_parameters(aggregated)
+
+        features, labels = self.loader.next_batch()
+        if self.attack is not None:
+            context = AttackContext(step=step, honest_value=aggregated, rng=self._rng)
+            features, labels = self.attack.poison_batch(features, labels, context)
+
+        self.model.zero_grad()
+        logits = self.model(Tensor(features))
+        loss = self.criterion(logits, labels)
+        loss.backward()
+        gradient = self.model.get_flat_gradient()
+        result = GradientResult(gradient=gradient, loss=float(loss.item()),
+                                batch_size=len(labels))
+        self.last_result = result
+        return result
+
+    def outgoing_gradient(self, result: GradientResult, step: int,
+                          peer_gradients: Sequence[np.ndarray] = (),
+                          recipient: Optional[str] = None) -> Optional[np.ndarray]:
+        """Gradient actually sent to a parameter server.
+
+        Honest workers send the computed gradient unchanged; Byzantine
+        workers route it through their attack (which may return ``None`` for
+        silence).
+        """
+        if self.attack is None:
+            return result.gradient
+        context = AttackContext(step=step, honest_value=result.gradient,
+                                peer_values=list(peer_gradients), rng=self._rng,
+                                recipient=recipient)
+        return self.attack.corrupt_gradient(context)
+
+
+class ServerNode:
+    """A parameter server: holds a model replica and applies robust updates.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier such as ``"ps/0"``.
+    model:
+        The local model replica (all replicas start from the same ``θ_0``).
+    gradient_aggregator:
+        The GAR ``F`` applied to the ``q̄`` received gradients (Multi-Krum).
+    model_aggregator:
+        The GAR ``M`` applied to the ``q`` received models in phase 3
+        (coordinate-wise median).
+    schedule:
+        Learning-rate schedule ``η_t``.
+    attack:
+        Optional :class:`ServerAttack` making this server Byzantine.
+    """
+
+    def __init__(self, node_id: str, model: Module,
+                 gradient_aggregator: GradientAggregationRule,
+                 model_aggregator: GradientAggregationRule,
+                 schedule: Optional[LearningRateSchedule] = None,
+                 attack: Optional[ServerAttack] = None, seed: int = 0) -> None:
+        self.node_id = node_id
+        self.model = model
+        self.gradient_aggregator = gradient_aggregator
+        self.model_aggregator = model_aggregator
+        self.schedule = schedule if schedule is not None else ConstantSchedule(0.001)
+        self.attack = attack
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self.attack is not None
+
+    # ------------------------------------------------------------------ #
+    def current_parameters(self) -> np.ndarray:
+        """The server's current flat parameter vector θ_t^(i)."""
+        return self.model.get_flat_parameters()
+
+    def outgoing_model(self, step: int, recipient: Optional[str] = None) -> Optional[np.ndarray]:
+        """Model sent to a recipient (worker or fellow server).
+
+        Honest servers always send their true parameters; Byzantine servers
+        route them through their attack (possibly per-recipient equivocation
+        or silence).
+        """
+        honest = self.current_parameters()
+        if self.attack is None:
+            return honest
+        context = AttackContext(step=step, honest_value=honest, rng=self._rng,
+                                recipient=recipient)
+        return self.attack.corrupt_model(context)
+
+    def apply_gradients(self, gradients: Sequence[np.ndarray], step: int) -> np.ndarray:
+        """Phase 2: aggregate gradients with ``F`` and apply the SGD update.
+
+        Returns the locally updated parameter vector (before the
+        inter-server median of phase 3).
+        """
+        aggregated = self.gradient_aggregator(gradients)
+        learning_rate = self.schedule(step)
+        updated = self.current_parameters() - learning_rate * aggregated
+        self.model.set_flat_parameters(updated)
+        return updated
+
+    def merge_models(self, parameter_vectors: Sequence[np.ndarray]) -> np.ndarray:
+        """Phase 3: install the coordinate-wise median of received models."""
+        merged = self.model_aggregator(parameter_vectors)
+        self.model.set_flat_parameters(merged)
+        return merged
+
+    def learning_rate(self, step: int) -> float:
+        """Learning rate ``η_t`` for the given step."""
+        return self.schedule(step)
+
+
+def max_pairwise_distance(vectors: Sequence[np.ndarray]) -> float:
+    """``max_{a,b} ||v_a − v_b||`` — the server spread tracked by the theory."""
+    vectors = [np.asarray(v) for v in vectors]
+    if len(vectors) < 2:
+        return 0.0
+    stacked = np.stack(vectors)
+    best = 0.0
+    for index in range(len(vectors)):
+        distances = np.linalg.norm(stacked - stacked[index], axis=1)
+        best = max(best, float(distances.max()))
+    return best

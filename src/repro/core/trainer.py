@@ -1,0 +1,575 @@
+"""Distributed trainers: GuanYu and its single-server baselines.
+
+Three trainers are provided, all sharing the same constructor vocabulary
+(model factory, dataset, batch size, learning-rate schedule, delay and cost
+models, seeds) and the same output (:class:`repro.metrics.TrainingHistory`):
+
+* :class:`GuanYuTrainer` — the full three-phase protocol of Section 3.3 with
+  ``n`` replicated, possibly Byzantine parameter servers and ``n̄`` possibly
+  Byzantine workers, run over the asynchronous network simulator.
+* :class:`VanillaTrainer` — a single *trusted* parameter server averaging
+  worker gradients.  With ``external_communication=False`` it models the
+  paper's "vanilla TF" baseline (optimised in-runtime communication); with
+  ``external_communication=True`` it models "vanilla GuanYu" (same graph,
+  communication handled outside the framework, paying the serialisation
+  overhead of Section 4).
+* :class:`SingleServerKrumTrainer` — the prior-work baseline: Byzantine
+  workers tolerated through Multi-Krum, but the single parameter server is
+  still assumed honest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aggregation import ArithmeticMean, CoordinateWiseMedian, MultiKrum, get_rule
+from repro.byzantine.base import ServerAttack, WorkerAttack
+from repro.core.config import ClusterConfig
+from repro.core.nodes import GradientResult, ServerNode, WorkerNode, max_pairwise_distance
+from repro.data.datasets import Dataset
+from repro.data.loader import DataLoader, shard_dataset
+from repro.metrics.accuracy import evaluate_accuracy, evaluate_loss
+from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.network.delays import DelayModel, UniformDelay
+from repro.network.message import MessageKind
+from repro.network.simulator import NetworkSimulator
+from repro.nn.module import Module
+from repro.nn.schedules import ConstantSchedule, LearningRateSchedule
+from repro.runtime.cost import GRID5000_LIKE, CostModel
+
+ModelFactory = Callable[[], Module]
+
+
+class DistributedTrainer:
+    """Shared infrastructure for the distributed trainers.
+
+    Parameters
+    ----------
+    model_fn:
+        Zero-argument factory returning a *fresh but identically initialised*
+        model; every node calls it so all replicas start from the same θ_0.
+    train_dataset, test_dataset:
+        Training data (sharded across workers) and held-out evaluation data.
+    batch_size:
+        Per-worker mini-batch size (the paper uses 128 and 32).
+    schedule:
+        Learning-rate schedule η_t (paper default: constant 0.001).
+    delay_model, cost_model:
+        Network latency distribution and local-computation cost model that
+        together define the simulated clock.
+    sharding:
+        ``"iid"``, ``"replicated"`` or ``"by_class"`` (see
+        :func:`repro.data.loader.shard_dataset`).
+    seed:
+        Master seed; every stochastic component is derived from it.
+    cost_num_parameters:
+        Parameter count used by the *cost model only* (computation and
+        serialisation times, message sizes on the simulated clock).  The
+        scaled-down experiments train a small model but bill time as if the
+        paper's 1.75 M-parameter CNN were being exchanged, which preserves
+        the time-axis shape of Figure 3.  Defaults to the actual model size.
+    """
+
+    def __init__(self, model_fn: ModelFactory, train_dataset: Dataset,
+                 test_dataset: Optional[Dataset] = None, batch_size: int = 32,
+                 schedule: Optional[LearningRateSchedule] = None,
+                 delay_model: Optional[DelayModel] = None,
+                 cost_model: CostModel = GRID5000_LIKE,
+                 sharding: str = "iid", seed: int = 0,
+                 cost_num_parameters: Optional[int] = None,
+                 label: str = "experiment") -> None:
+        self.model_fn = model_fn
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.batch_size = batch_size
+        self.schedule = schedule if schedule is not None else ConstantSchedule(0.001)
+        self.delay_model = delay_model if delay_model is not None else UniformDelay()
+        self.cost_model = cost_model
+        self.sharding = sharding
+        self.seed = seed
+        self.label = label
+
+        self._eval_model = model_fn()
+        self.num_parameters = self._eval_model.num_parameters()
+        self.billed_parameters = (cost_num_parameters if cost_num_parameters
+                                  else self.num_parameters)
+        self.network = NetworkSimulator(delay_model=self.delay_model, seed=seed)
+        self.history = TrainingHistory(label=label)
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    def _build_workers(self, worker_ids: Sequence[str],
+                       attacks: Dict[str, Optional[WorkerAttack]],
+                       model_aggregator_fn: Callable[[], object]) -> List[WorkerNode]:
+        shards = shard_dataset(self.train_dataset, len(worker_ids),
+                               strategy=self.sharding, seed=self.seed)
+        workers = []
+        for index, worker_id in enumerate(worker_ids):
+            loader = DataLoader(shards[index], batch_size=self.batch_size,
+                                seed=self.seed + 1000 + index)
+            workers.append(WorkerNode(
+                node_id=worker_id,
+                model=self.model_fn(),
+                loader=loader,
+                model_aggregator=model_aggregator_fn(),
+                attack=attacks.get(worker_id),
+                seed=self.seed + 2000 + index,
+            ))
+        return workers
+
+    def _evaluate(self, parameters: np.ndarray, max_samples: Optional[int]) -> float:
+        if self.test_dataset is None:
+            return float("nan")
+        self._eval_model.set_flat_parameters(parameters)
+        return evaluate_accuracy(self._eval_model, self.test_dataset,
+                                 max_samples=max_samples)
+
+    def _serialization(self) -> float:
+        return self.cost_model.serialization_time(self.billed_parameters)
+
+    # ------------------------------------------------------------------ #
+    def global_parameters(self) -> np.ndarray:
+        """Parameter vector an external observer would read (trainer-specific)."""
+        raise NotImplementedError
+
+    def step(self, step_index: int) -> StepRecord:
+        """Execute one learning step and return its record."""
+        raise NotImplementedError
+
+    def run(self, num_steps: int, eval_every: int = 10,
+            max_eval_samples: Optional[int] = 512) -> TrainingHistory:
+        """Run ``num_steps`` model updates.
+
+        Accuracy is evaluated every ``eval_every`` steps (and on the final
+        step) on at most ``max_eval_samples`` held-out samples.
+        """
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        for step_index in range(num_steps):
+            record = self.step(step_index)
+            is_eval_step = (step_index % eval_every == 0) or (step_index == num_steps - 1)
+            if is_eval_step and self.test_dataset is not None:
+                record.test_accuracy = self._evaluate(self.global_parameters(),
+                                                      max_eval_samples)
+            self.history.add(record)
+        return self.history
+
+
+# --------------------------------------------------------------------------- #
+# GuanYu
+# --------------------------------------------------------------------------- #
+class GuanYuTrainer(DistributedTrainer):
+    """The GuanYu protocol (paper Section 3.3) over the simulated network.
+
+    Parameters
+    ----------
+    config:
+        Cluster arithmetic ``(n, f, n̄, f̄, q, q̄)``.  The Byzantine counts in
+        the config are the *declared* numbers (they size the quorums and the
+        aggregation rules); the *actual* number of attacking nodes is given
+        separately so that, as in the paper's Figure 3, a deployment can
+        declare ``f̄ = 5`` while running in a non-Byzantine environment.
+    worker_attack, num_attacking_workers:
+        Behaviour and count of actually-Byzantine workers (last worker ids).
+    server_attack, num_attacking_servers:
+        Behaviour and count of actually-Byzantine servers (last server ids).
+    gradient_rule_name, model_rule_name:
+        GARs used for phase 2 (default Multi-Krum) and phases 1/3 (default
+        coordinate-wise median); exposed for the ablation benchmarks.
+    """
+
+    def __init__(self, config: ClusterConfig, model_fn: ModelFactory,
+                 train_dataset: Dataset, test_dataset: Optional[Dataset] = None,
+                 worker_attack: Optional[WorkerAttack] = None,
+                 num_attacking_workers: int = 0,
+                 server_attack: Optional[ServerAttack] = None,
+                 num_attacking_servers: int = 0,
+                 gradient_rule_name: str = "multi_krum",
+                 model_rule_name: str = "median",
+                 label: str = "guanyu", **kwargs) -> None:
+        super().__init__(model_fn=model_fn, train_dataset=train_dataset,
+                         test_dataset=test_dataset, label=label, **kwargs)
+        self.config = config
+        self._validate_attack_counts(worker_attack, num_attacking_workers,
+                                     server_attack, num_attacking_servers)
+        self.gradient_rule_name = gradient_rule_name
+        self.model_rule_name = model_rule_name
+
+        worker_ids = config.worker_ids()
+        server_ids = config.server_ids()
+        attacking_workers = set(worker_ids[len(worker_ids) - num_attacking_workers:]) \
+            if num_attacking_workers else set()
+        attacking_servers = set(server_ids[len(server_ids) - num_attacking_servers:]) \
+            if num_attacking_servers else set()
+
+        worker_attacks = {wid: (worker_attack if wid in attacking_workers else None)
+                          for wid in worker_ids}
+        self.workers = self._build_workers(
+            worker_ids, worker_attacks,
+            model_aggregator_fn=lambda: get_rule(
+                model_rule_name, num_byzantine=config.num_byzantine_servers),
+        )
+
+        self.servers: List[ServerNode] = []
+        for index, server_id in enumerate(server_ids):
+            attack = server_attack if server_id in attacking_servers else None
+            self.servers.append(ServerNode(
+                node_id=server_id,
+                model=self.model_fn(),
+                gradient_aggregator=get_rule(
+                    gradient_rule_name, num_byzantine=config.num_byzantine_workers),
+                model_aggregator=get_rule(
+                    model_rule_name, num_byzantine=config.num_byzantine_servers),
+                schedule=self.schedule,
+                attack=attack,
+                seed=self.seed + 3000 + index,
+            ))
+
+        self._server_clock = {server.node_id: 0.0 for server in self.servers}
+        self._worker_clock = {worker.node_id: 0.0 for worker in self.workers}
+        self.history.config = {
+            **config.as_dict(),
+            "batch_size": self.batch_size,
+            "gradient_rule": gradient_rule_name,
+            "model_rule": model_rule_name,
+            "num_attacking_workers": num_attacking_workers,
+            "num_attacking_servers": num_attacking_servers,
+            "worker_attack": getattr(worker_attack, "name", None),
+            "server_attack": getattr(server_attack, "name", None),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _validate_attack_counts(self, worker_attack, num_attacking_workers,
+                                server_attack, num_attacking_servers) -> None:
+        if num_attacking_workers > 0 and worker_attack is None:
+            raise ValueError("num_attacking_workers > 0 requires a worker_attack")
+        if num_attacking_servers > 0 and server_attack is None:
+            raise ValueError("num_attacking_servers > 0 requires a server_attack")
+        if num_attacking_workers > self.config.num_byzantine_workers:
+            raise ValueError(
+                "more attacking workers than the declared Byzantine count; "
+                "GuanYu's guarantees only cover f̄ declared Byzantine workers"
+            )
+        if num_attacking_servers > self.config.num_byzantine_servers:
+            raise ValueError(
+                "more attacking servers than the declared Byzantine count; "
+                "GuanYu's guarantees only cover f declared Byzantine servers"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def correct_servers(self) -> List[ServerNode]:
+        return [server for server in self.servers if not server.is_byzantine]
+
+    @property
+    def byzantine_servers(self) -> List[ServerNode]:
+        return [server for server in self.servers if server.is_byzantine]
+
+    @property
+    def correct_workers(self) -> List[WorkerNode]:
+        return [worker for worker in self.workers if not worker.is_byzantine]
+
+    @property
+    def byzantine_workers(self) -> List[WorkerNode]:
+        return [worker for worker in self.workers if worker.is_byzantine]
+
+    def global_parameters(self) -> np.ndarray:
+        """Coordinate-wise median of the correct servers' models (paper Eq. 1)."""
+        vectors = [server.current_parameters() for server in self.correct_servers]
+        return np.median(np.stack(vectors), axis=0)
+
+    def server_spread(self) -> float:
+        """``max_{a,b} ||θ^(a) − θ^(b)||`` over correct servers."""
+        return max_pairwise_distance(
+            [server.current_parameters() for server in self.correct_servers])
+
+    # ------------------------------------------------------------------ #
+    def step(self, step_index: int) -> StepRecord:
+        """One full GuanYu step (the three phases of Figure 2)."""
+        config = self.config
+        cost = self.cost_model
+        d = self.billed_parameters
+        serialization = self._serialization()
+        phase_start = min(self._server_clock[s.node_id] for s in self.correct_servers)
+
+        # ------------------------- Phase 1 ------------------------------ #
+        # Every parameter server broadcasts its model to every worker.
+        worker_ids = [worker.node_id for worker in self.workers]
+        for server in self.servers:
+            if server.is_byzantine:
+                # The adversary sends (possibly different) corrupted models,
+                # racing honest traffic on its covert channel.
+                for worker_id in worker_ids:
+                    payload = server.outgoing_model(step_index, recipient=worker_id)
+                    self.network.send(server.node_id, worker_id,
+                                      MessageKind.MODEL_TO_WORKER, step_index,
+                                      payload, send_time=phase_start,
+                                      delay_override=0.0)
+            else:
+                send_time = self._server_clock[server.node_id] + serialization
+                self.network.broadcast(server.node_id, worker_ids,
+                                       MessageKind.MODEL_TO_WORKER, step_index,
+                                       server.outgoing_model(step_index),
+                                       send_time=send_time)
+
+        # Every correct worker waits for the first q models, aggregates them
+        # with the coordinate-wise median and computes a gradient there.
+        results: Dict[str, GradientResult] = {}
+        for worker in self.workers:
+            record = self.network.collect_quorum(
+                worker.node_id, MessageKind.MODEL_TO_WORKER, step_index,
+                quorum=config.model_quorum,
+                not_before=self._worker_clock[worker.node_id])
+            result = worker.compute_gradient(record.payloads, step_index)
+            results[worker.node_id] = result
+            compute_time = (cost.median_time(config.model_quorum, d)
+                            + cost.gradient_time(result.batch_size, d))
+            self._worker_clock[worker.node_id] = record.completion_time + compute_time
+
+        correct_gradients = [results[w.node_id].gradient for w in self.correct_workers]
+        phase1_end = float(np.mean([self._worker_clock[w.node_id]
+                                    for w in self.correct_workers]))
+
+        # ------------------------- Phase 2 ------------------------------ #
+        # Every worker broadcasts its gradient to every parameter server.
+        server_ids = [server.node_id for server in self.servers]
+        for worker in self.workers:
+            result = results[worker.node_id]
+            if worker.is_byzantine:
+                for server_id in server_ids:
+                    payload = worker.outgoing_gradient(
+                        result, step_index, peer_gradients=correct_gradients,
+                        recipient=server_id)
+                    self.network.send(worker.node_id, server_id,
+                                      MessageKind.GRADIENT_TO_SERVER, step_index,
+                                      payload, send_time=phase_start,
+                                      delay_override=0.0)
+            else:
+                send_time = self._worker_clock[worker.node_id] + serialization
+                self.network.broadcast(worker.node_id, server_ids,
+                                       MessageKind.GRADIENT_TO_SERVER, step_index,
+                                       worker.outgoing_gradient(result, step_index),
+                                       send_time=send_time)
+
+        # Every correct server waits for the first q̄ gradients, aggregates
+        # them with Multi-Krum and applies the local SGD update.
+        for server in self.correct_servers:
+            record = self.network.collect_quorum(
+                server.node_id, MessageKind.GRADIENT_TO_SERVER, step_index,
+                quorum=config.gradient_quorum,
+                not_before=self._server_clock[server.node_id])
+            server.apply_gradients(record.payloads, step_index)
+            compute_time = (cost.aggregation_time(self.gradient_rule_name,
+                                                  config.gradient_quorum, d)
+                            + cost.update_time(d))
+            self._server_clock[server.node_id] = record.completion_time + compute_time
+        phase2_end = float(np.mean([self._server_clock[s.node_id]
+                                    for s in self.correct_servers]))
+
+        # ------------------------- Phase 3 ------------------------------ #
+        # Every parameter server broadcasts its updated model to the others
+        # and installs the coordinate-wise median of the first q received.
+        for server in self.servers:
+            if server.is_byzantine:
+                for server_id in server_ids:
+                    payload = server.outgoing_model(step_index, recipient=server_id)
+                    self.network.send(server.node_id, server_id,
+                                      MessageKind.MODEL_TO_SERVER, step_index,
+                                      payload, send_time=phase_start,
+                                      delay_override=0.0)
+            else:
+                send_time = self._server_clock[server.node_id] + serialization
+                payload = server.outgoing_model(step_index)
+                for server_id in server_ids:
+                    # A server's own model is available to it immediately.
+                    delay_override = 0.0 if server_id == server.node_id else None
+                    self.network.send(server.node_id, server_id,
+                                      MessageKind.MODEL_TO_SERVER, step_index,
+                                      payload, send_time=send_time,
+                                      delay_override=delay_override)
+
+        for server in self.correct_servers:
+            record = self.network.collect_quorum(
+                server.node_id, MessageKind.MODEL_TO_SERVER, step_index,
+                quorum=config.model_quorum,
+                not_before=self._server_clock[server.node_id])
+            server.merge_models(record.payloads)
+            compute_time = cost.median_time(config.model_quorum, d)
+            self._server_clock[server.node_id] = record.completion_time + compute_time
+
+        # Drop anything left over from this step (late messages are discarded).
+        self.network.purge_step(step_index)
+        phase3_end = float(np.mean([self._server_clock[s.node_id]
+                                    for s in self.correct_servers]))
+
+        correct_losses = [results[w.node_id].loss for w in self.correct_workers]
+        return StepRecord(
+            step=step_index,
+            simulated_time=max(self._server_clock[s.node_id]
+                               for s in self.correct_servers),
+            train_loss=float(np.mean(correct_losses)) if correct_losses else None,
+            max_server_spread=self.server_spread(),
+            learning_rate=self.schedule(step_index),
+            phase_durations={
+                "phase1_models_and_gradients": phase1_end - phase_start,
+                "phase2_server_update": phase2_end - phase1_end,
+                "phase3_server_exchange": phase3_end - phase2_end,
+            },
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Single-server baselines
+# --------------------------------------------------------------------------- #
+class VanillaTrainer(DistributedTrainer):
+    """Single trusted parameter server averaging worker gradients.
+
+    ``external_communication=False`` models the paper's **vanilla TF**
+    baseline (communication inside the optimised framework runtime);
+    ``external_communication=True`` models **vanilla GuanYu** (identical
+    computation graph, communication handled outside the framework and thus
+    paying the tensor→numpy→protobuf serialisation cost of Section 4).
+    """
+
+    SERVER_ID = "ps/0"
+
+    def __init__(self, model_fn: ModelFactory, train_dataset: Dataset,
+                 test_dataset: Optional[Dataset] = None, num_workers: int = 4,
+                 worker_attack: Optional[WorkerAttack] = None,
+                 num_attacking_workers: int = 0,
+                 external_communication: bool = False,
+                 gradient_rule=None, label: str = "vanilla", **kwargs) -> None:
+        super().__init__(model_fn=model_fn, train_dataset=train_dataset,
+                         test_dataset=test_dataset, label=label, **kwargs)
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if num_attacking_workers > 0 and worker_attack is None:
+            raise ValueError("num_attacking_workers > 0 requires a worker_attack")
+        if num_attacking_workers > num_workers:
+            raise ValueError("cannot have more attacking workers than workers")
+        self.num_workers = num_workers
+        self.external_communication = external_communication
+        self.gradient_rule = gradient_rule if gradient_rule is not None else ArithmeticMean()
+
+        worker_ids = [f"worker/{index}" for index in range(num_workers)]
+        attacking = set(worker_ids[num_workers - num_attacking_workers:]) \
+            if num_attacking_workers else set()
+        attacks = {wid: (worker_attack if wid in attacking else None)
+                   for wid in worker_ids}
+        # With a single trusted server there is no model aggregation at the
+        # workers: the "median of one" is the identity.
+        self.workers = self._build_workers(
+            worker_ids, attacks,
+            model_aggregator_fn=lambda: CoordinateWiseMedian(num_byzantine=0))
+
+        self.server = ServerNode(
+            node_id=self.SERVER_ID,
+            model=self.model_fn(),
+            gradient_aggregator=self.gradient_rule,
+            model_aggregator=CoordinateWiseMedian(num_byzantine=0),
+            schedule=self.schedule,
+            seed=self.seed + 3000,
+        )
+        self._server_clock = 0.0
+        self._worker_clock = {worker.node_id: 0.0 for worker in self.workers}
+        self.history.config = {
+            "num_workers": num_workers,
+            "batch_size": self.batch_size,
+            "external_communication": external_communication,
+            "gradient_rule": getattr(self.gradient_rule, "name", "mean"),
+            "num_attacking_workers": num_attacking_workers,
+            "worker_attack": getattr(worker_attack, "name", None),
+        }
+
+    # ------------------------------------------------------------------ #
+    def global_parameters(self) -> np.ndarray:
+        return self.server.current_parameters()
+
+    def _overhead(self) -> float:
+        return self._serialization() if self.external_communication else 0.0
+
+    def step(self, step_index: int) -> StepRecord:
+        cost = self.cost_model
+        d = self.billed_parameters
+        overhead = self._overhead()
+        worker_ids = [worker.node_id for worker in self.workers]
+
+        # Server broadcasts the current model to every worker.
+        self.network.broadcast(self.SERVER_ID, worker_ids,
+                               MessageKind.MODEL_TO_WORKER, step_index,
+                               self.server.outgoing_model(step_index),
+                               send_time=self._server_clock + overhead)
+
+        # Workers compute gradients at the received model.
+        results: Dict[str, GradientResult] = {}
+        correct_gradients: List[np.ndarray] = []
+        for worker in self.workers:
+            record = self.network.collect_quorum(
+                worker.node_id, MessageKind.MODEL_TO_WORKER, step_index,
+                quorum=1, not_before=self._worker_clock[worker.node_id])
+            result = worker.compute_gradient(record.payloads, step_index)
+            results[worker.node_id] = result
+            self._worker_clock[worker.node_id] = (
+                record.completion_time + cost.gradient_time(result.batch_size, d))
+            if not worker.is_byzantine:
+                correct_gradients.append(result.gradient)
+
+        # Workers send their gradients back (Byzantine ones may corrupt or
+        # stay silent); the trusted server averages what it receives.
+        responding = 0
+        for worker in self.workers:
+            result = results[worker.node_id]
+            payload = worker.outgoing_gradient(result, step_index,
+                                               peer_gradients=correct_gradients,
+                                               recipient=self.SERVER_ID)
+            if payload is not None:
+                responding += 1
+            self.network.send(worker.node_id, self.SERVER_ID,
+                              MessageKind.GRADIENT_TO_SERVER, step_index, payload,
+                              send_time=self._worker_clock[worker.node_id] + overhead)
+
+        record = self.network.collect_quorum(
+            self.SERVER_ID, MessageKind.GRADIENT_TO_SERVER, step_index,
+            quorum=max(responding, 1), not_before=self._server_clock)
+        self.server.apply_gradients(record.payloads, step_index)
+        rule_name = getattr(self.gradient_rule, "name", "mean")
+        self._server_clock = (record.completion_time
+                              + cost.aggregation_time(rule_name, responding, d)
+                              + cost.update_time(d))
+        self.network.purge_step(step_index)
+
+        correct_losses = [results[w.node_id].loss for w in self.workers
+                          if not w.is_byzantine]
+        return StepRecord(
+            step=step_index,
+            simulated_time=self._server_clock,
+            train_loss=float(np.mean(correct_losses)) if correct_losses else None,
+            max_server_spread=0.0,
+            learning_rate=self.schedule(step_index),
+        )
+
+
+class SingleServerKrumTrainer(VanillaTrainer):
+    """Prior-work baseline: Multi-Krum at a single *trusted* parameter server.
+
+    Tolerates Byzantine workers (Blanchard et al., 2017) but offers no
+    protection whatsoever against a Byzantine parameter server — the gap
+    GuanYu closes.
+    """
+
+    def __init__(self, model_fn: ModelFactory, train_dataset: Dataset,
+                 num_byzantine_workers: int = 0, num_workers: int = 4,
+                 label: str = "single_server_krum", **kwargs) -> None:
+        rule = MultiKrum(num_byzantine=num_byzantine_workers)
+        if num_workers < rule.minimum_inputs():
+            raise ValueError(
+                f"Multi-Krum with f={num_byzantine_workers} needs at least "
+                f"{rule.minimum_inputs()} workers"
+            )
+        super().__init__(model_fn=model_fn, train_dataset=train_dataset,
+                         num_workers=num_workers, gradient_rule=rule,
+                         label=label, **kwargs)
+        self.history.config["declared_byzantine_workers"] = num_byzantine_workers

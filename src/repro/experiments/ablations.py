@@ -1,0 +1,161 @@
+"""Ablation studies for the design choices called out in ``DESIGN.md``.
+
+* :func:`run_gar_ablation` — swap the gradient aggregation rule at the
+  parameter servers (Multi-Krum vs. median vs. mean, ...) under attack;
+* :func:`run_attack_sweep` — GuanYu against every registered attack;
+* :func:`run_quorum_ablation` — effect of the quorum size ``q̄`` on
+  throughput and per-update quality (the paper's §5.3 observation);
+* :func:`run_scaling_study` — throughput as cluster size grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.byzantine import (
+    CorruptedModelAttack,
+    EquivocationAttack,
+    LabelFlipPoisoning,
+    LittleIsEnoughAttack,
+    RandomGradientAttack,
+    ReversedGradientAttack,
+    SignFlipAttack,
+    SilentWorker,
+)
+from repro.core import ClusterConfig, GuanYuTrainer
+from repro.experiments.common import (
+    ExperimentScale,
+    build_workload,
+    make_model_factory,
+    make_schedule,
+)
+from repro.metrics import TrainingHistory, throughput_updates_per_second
+
+
+def _build_trainer(scale: ExperimentScale, *, gradient_rule: str = "multi_krum",
+                   model_rule: str = "median", gradient_quorum: Optional[int] = None,
+                   num_workers: Optional[int] = None,
+                   num_servers: Optional[int] = None,
+                   label: str = "ablation", **attack_kwargs) -> GuanYuTrainer:
+    train, test, in_features, num_classes = build_workload(scale)
+    model_fn = make_model_factory(scale, in_features, num_classes)
+    config = ClusterConfig(
+        num_servers=num_servers if num_servers is not None else scale.num_servers,
+        num_workers=num_workers if num_workers is not None else scale.num_workers,
+        num_byzantine_servers=scale.declared_byzantine_servers,
+        num_byzantine_workers=scale.declared_byzantine_workers,
+        gradient_quorum=gradient_quorum,
+    )
+    return GuanYuTrainer(config=config, model_fn=model_fn, train_dataset=train,
+                         test_dataset=test, batch_size=scale.batch_size,
+                         schedule=make_schedule(scale), seed=scale.seed,
+                         cost_num_parameters=scale.billed_parameters,
+                         gradient_rule_name=gradient_rule,
+                         model_rule_name=model_rule, label=label, **attack_kwargs)
+
+
+def run_gar_ablation(scale: Optional[ExperimentScale] = None,
+                     rules: Sequence[str] = ("multi_krum", "median",
+                                             "trimmed_mean", "mean"),
+                     ) -> Dict[str, TrainingHistory]:
+    """Compare server-side gradient aggregation rules under a worker attack.
+
+    The robust rules should converge; the arithmetic mean should not — this
+    is the ablation backing the paper's choice of Multi-Krum for phase 2.
+    """
+    scale = scale if scale is not None else ExperimentScale.small()
+    histories = {}
+    for rule in rules:
+        trainer = _build_trainer(
+            scale, gradient_rule=rule, label=f"gar-{rule}",
+            worker_attack=RandomGradientAttack(scale=100.0),
+            num_attacking_workers=scale.declared_byzantine_workers)
+        histories[rule] = trainer.run(scale.num_steps, eval_every=scale.eval_every,
+                                      max_eval_samples=scale.max_eval_samples)
+    return histories
+
+
+def default_attack_suite(num_classes: int = 4) -> Dict[str, Dict]:
+    """The attack matrix used by :func:`run_attack_sweep`."""
+    return {
+        "random_gradient": {"worker_attack": RandomGradientAttack(scale=100.0)},
+        "reversed_gradient": {"worker_attack": ReversedGradientAttack(factor=10.0)},
+        "sign_flip": {"worker_attack": SignFlipAttack()},
+        "little_is_enough": {"worker_attack": LittleIsEnoughAttack(z_factor=1.5)},
+        "label_flip": {"worker_attack": LabelFlipPoisoning(num_classes=num_classes)},
+        "silent_worker": {"worker_attack": SilentWorker()},
+        "corrupted_model": {"server_attack": CorruptedModelAttack(noise_scale=100.0)},
+        "equivocation": {"server_attack": EquivocationAttack(magnitude=50.0)},
+    }
+
+
+def run_attack_sweep(scale: Optional[ExperimentScale] = None,
+                     attacks: Optional[Dict[str, Dict]] = None,
+                     ) -> Dict[str, TrainingHistory]:
+    """Run GuanYu against every attack in the suite (workers and servers)."""
+    scale = scale if scale is not None else ExperimentScale.small()
+    _, _, _, num_classes = build_workload(scale)
+    attacks = attacks if attacks is not None else default_attack_suite(num_classes)
+    histories = {}
+    for name, spec in attacks.items():
+        kwargs = dict(spec)
+        if "worker_attack" in kwargs:
+            kwargs.setdefault("num_attacking_workers",
+                              scale.declared_byzantine_workers)
+        if "server_attack" in kwargs:
+            kwargs.setdefault("num_attacking_servers",
+                              scale.declared_byzantine_servers)
+        trainer = _build_trainer(scale, label=f"attack-{name}", **kwargs)
+        histories[name] = trainer.run(scale.num_steps, eval_every=scale.eval_every,
+                                      max_eval_samples=scale.max_eval_samples)
+    return histories
+
+
+def run_quorum_ablation(scale: Optional[ExperimentScale] = None,
+                        quorums: Optional[Sequence[int]] = None,
+                        ) -> Dict[int, TrainingHistory]:
+    """Vary the gradient quorum ``q̄`` between its minimum and maximum.
+
+    Larger quorums make every step slower (more waiting) but aggregate more
+    gradients, improving per-update progress — the trade-off discussed in
+    the paper's Section 5.3.
+    """
+    scale = scale if scale is not None else ExperimentScale.small()
+    config = ClusterConfig(num_servers=scale.num_servers,
+                           num_workers=scale.num_workers,
+                           num_byzantine_servers=scale.declared_byzantine_servers,
+                           num_byzantine_workers=scale.declared_byzantine_workers)
+    if quorums is None:
+        quorums = sorted({config.min_gradient_quorum, config.max_gradient_quorum})
+    histories = {}
+    for quorum in quorums:
+        trainer = _build_trainer(scale, gradient_quorum=quorum,
+                                 label=f"quorum-{quorum}")
+        histories[quorum] = trainer.run(scale.num_steps,
+                                        eval_every=scale.eval_every,
+                                        max_eval_samples=scale.max_eval_samples)
+    return histories
+
+
+def run_scaling_study(scale: Optional[ExperimentScale] = None,
+                      worker_counts: Sequence[int] = (6, 9, 12, 18),
+                      num_steps: int = 20) -> List[Dict[str, float]]:
+    """Throughput (updates per simulated second) as the worker pool grows."""
+    scale = scale if scale is not None else ExperimentScale.small()
+    rows = []
+    for num_workers in worker_counts:
+        declared = min(scale.declared_byzantine_workers, (num_workers - 3) // 3)
+        local = ExperimentScale(**{**scale.__dict__,
+                                   "num_workers": num_workers,
+                                   "declared_byzantine_workers": declared,
+                                   "num_steps": num_steps})
+        trainer = _build_trainer(local, label=f"scaling-{num_workers}")
+        history = trainer.run(num_steps, eval_every=num_steps,
+                              max_eval_samples=scale.max_eval_samples)
+        rows.append({
+            "num_workers": num_workers,
+            "declared_byzantine_workers": declared,
+            "throughput": throughput_updates_per_second(history),
+            "final_accuracy": history.final_accuracy(),
+        })
+    return rows

@@ -1,0 +1,146 @@
+"""Figure 3: overhead of GuanYu in a non-Byzantine environment.
+
+The paper compares five systems on accuracy-vs-updates (Fig. 3a/3c) and
+accuracy-vs-time (Fig. 3b/3d), for mini-batch sizes 128 and 32:
+
+1. **vanilla TF** — single trusted server, mean aggregation, optimised
+   in-framework communication;
+2. **GuanYu (vanilla)** — same computation, communication handled outside
+   the framework (serialisation overhead);
+3. **GuanYu (f̄=0, f=0)** — replicated servers, robust rules, but zero
+   declared Byzantine nodes (minimum quorums);
+4. **GuanYu (f̄=5, f=0)** — Byzantine workers declared;
+5. **GuanYu (f̄=5, f=1)** — Byzantine workers and servers declared.
+
+All five run in a *non-Byzantine environment* (no actual attack); the
+declared counts only change quorums and aggregation rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import ClusterConfig, GuanYuTrainer, VanillaTrainer
+from repro.experiments.common import (
+    ExperimentScale,
+    build_workload,
+    make_model_factory,
+    make_schedule,
+)
+from repro.metrics import (
+    TrainingHistory,
+    throughput_updates_per_second,
+    time_to_accuracy,
+)
+from repro.metrics.throughput import steps_to_accuracy
+
+#: the five systems of Figure 3, in the paper's legend order
+FIGURE3_SYSTEMS = (
+    "vanilla_tf",
+    "guanyu_vanilla",
+    "guanyu_f0_s0",
+    "guanyu_f_workers_s0",
+    "guanyu_f_workers_s1",
+)
+
+
+@dataclass
+class Figure3Result:
+    """Histories of the five systems plus derived summary rows."""
+
+    batch_size: int
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def accuracy_summary(self) -> List[Dict[str, object]]:
+        """One row per system: final accuracy, throughput, time-to-target."""
+        target = self.reference_accuracy()
+        rows = []
+        for name, history in self.histories.items():
+            rows.append({
+                "system": name,
+                "final_accuracy": history.final_accuracy(),
+                "best_accuracy": history.best_accuracy(),
+                "total_time": history.total_time(),
+                "throughput": throughput_updates_per_second(history),
+                "time_to_target": time_to_accuracy(history, target),
+                "steps_to_target": steps_to_accuracy(history, target),
+            })
+        return rows
+
+    def reference_accuracy(self) -> float:
+        """A target accuracy every system reaches (80 % of the best final)."""
+        finals = [h.final_accuracy() for h in self.histories.values()]
+        return 0.8 * max(finals)
+
+
+def _declared(scale: ExperimentScale, declared_workers: int,
+              declared_servers: int) -> ClusterConfig:
+    return ClusterConfig(
+        num_servers=scale.num_servers,
+        num_workers=scale.num_workers,
+        num_byzantine_servers=declared_servers,
+        num_byzantine_workers=declared_workers,
+    )
+
+
+def run_figure3(scale: Optional[ExperimentScale] = None,
+                batch_size: Optional[int] = None,
+                systems: Optional[List[str]] = None) -> Figure3Result:
+    """Run the Figure 3 comparison (one batch size).
+
+    Parameters
+    ----------
+    scale:
+        Workload scale (defaults to :meth:`ExperimentScale.small`).
+    batch_size:
+        Override of the scale's batch size; the paper runs 128 (Fig. 3a/b)
+        and 32 (Fig. 3c/d).
+    systems:
+        Subset of :data:`FIGURE3_SYSTEMS` to run (all by default).
+    """
+    scale = scale if scale is not None else ExperimentScale.small()
+    batch_size = batch_size if batch_size is not None else scale.batch_size
+    systems = list(systems) if systems is not None else list(FIGURE3_SYSTEMS)
+
+    train, test, in_features, num_classes = build_workload(scale)
+    model_fn = make_model_factory(scale, in_features, num_classes)
+    schedule = make_schedule(scale)
+    result = Figure3Result(batch_size=batch_size)
+
+    common = dict(model_fn=model_fn, train_dataset=train, test_dataset=test,
+                  batch_size=batch_size, schedule=schedule, seed=scale.seed,
+                  cost_num_parameters=scale.billed_parameters)
+
+    if "vanilla_tf" in systems:
+        trainer = VanillaTrainer(num_workers=scale.num_workers,
+                                 external_communication=False,
+                                 label="vanilla_tf", **common)
+        result.histories["vanilla_tf"] = trainer.run(
+            scale.num_steps, eval_every=scale.eval_every,
+            max_eval_samples=scale.max_eval_samples)
+
+    if "guanyu_vanilla" in systems:
+        trainer = VanillaTrainer(num_workers=scale.num_workers,
+                                 external_communication=True,
+                                 label="guanyu_vanilla", **common)
+        result.histories["guanyu_vanilla"] = trainer.run(
+            scale.num_steps, eval_every=scale.eval_every,
+            max_eval_samples=scale.max_eval_samples)
+
+    guanyu_variants = {
+        "guanyu_f0_s0": (0, 0),
+        "guanyu_f_workers_s0": (scale.declared_byzantine_workers, 0),
+        "guanyu_f_workers_s1": (scale.declared_byzantine_workers,
+                                scale.declared_byzantine_servers),
+    }
+    for name, (declared_workers, declared_servers) in guanyu_variants.items():
+        if name not in systems:
+            continue
+        config = _declared(scale, declared_workers, declared_servers)
+        trainer = GuanYuTrainer(config=config, label=name, **common)
+        result.histories[name] = trainer.run(
+            scale.num_steps, eval_every=scale.eval_every,
+            max_eval_samples=scale.max_eval_samples)
+
+    return result

@@ -1,0 +1,105 @@
+"""Figure 4: impact of Byzantine players on convergence.
+
+Three systems run under attack:
+
+* **vanilla TF** with no Byzantine node (reference);
+* **vanilla TF (Byzantine)** — the same deployment with one Byzantine worker
+  sending corrupted gradients: convergence collapses;
+* **GuanYu (f̄, f)** — Byzantine workers *and* a Byzantine parameter server
+  actively attacking: convergence is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.byzantine import RandomGradientAttack, EquivocationAttack
+from repro.byzantine.base import ServerAttack, WorkerAttack
+from repro.core import ClusterConfig, GuanYuTrainer, VanillaTrainer
+from repro.experiments.common import (
+    ExperimentScale,
+    build_workload,
+    make_model_factory,
+    make_schedule,
+)
+from repro.metrics import TrainingHistory
+
+FIGURE4_SYSTEMS = ("vanilla_tf", "vanilla_tf_byzantine", "guanyu_byzantine")
+
+
+@dataclass
+class Figure4Result:
+    """Histories of the three Figure 4 curves."""
+
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def final_accuracies(self) -> Dict[str, float]:
+        return {name: history.final_accuracy()
+                for name, history in self.histories.items()}
+
+
+def run_figure4(scale: Optional[ExperimentScale] = None,
+                worker_attack: Optional[WorkerAttack] = None,
+                server_attack: Optional[ServerAttack] = None,
+                num_attacking_workers: Optional[int] = None,
+                num_attacking_servers: int = 1) -> Figure4Result:
+    """Run the Figure 4 comparison.
+
+    By default the attacks are the paper's "totally corrupted data" worker
+    attack and the "different bad models to different workers" equivocating
+    server; both can be swapped (the attack-sweep ablation does exactly that).
+    """
+    scale = scale if scale is not None else ExperimentScale.small()
+    worker_attack = worker_attack if worker_attack is not None else \
+        RandomGradientAttack(scale=100.0)
+    server_attack = server_attack if server_attack is not None else \
+        EquivocationAttack(magnitude=50.0)
+    if num_attacking_workers is None:
+        num_attacking_workers = scale.declared_byzantine_workers
+    # The guarantees (and the trainer's validation) only cover attacks within
+    # the declared Byzantine counts.
+    num_attacking_workers = min(num_attacking_workers,
+                                scale.declared_byzantine_workers)
+    num_attacking_servers = min(num_attacking_servers,
+                                scale.declared_byzantine_servers)
+
+    train, test, in_features, num_classes = build_workload(scale)
+    model_fn = make_model_factory(scale, in_features, num_classes)
+    schedule = make_schedule(scale)
+    common = dict(model_fn=model_fn, train_dataset=train, test_dataset=test,
+                  batch_size=scale.batch_size, schedule=schedule, seed=scale.seed,
+                  cost_num_parameters=scale.billed_parameters)
+    result = Figure4Result()
+
+    # Reference: vanilla TF without any Byzantine node.
+    trainer = VanillaTrainer(num_workers=scale.num_workers, label="vanilla_tf",
+                             **common)
+    result.histories["vanilla_tf"] = trainer.run(
+        scale.num_steps, eval_every=scale.eval_every,
+        max_eval_samples=scale.max_eval_samples)
+
+    # Vanilla TF with a single Byzantine worker: averaging has breakdown 0.
+    trainer = VanillaTrainer(num_workers=scale.num_workers,
+                             worker_attack=worker_attack, num_attacking_workers=1,
+                             label="vanilla_tf_byzantine", **common)
+    result.histories["vanilla_tf_byzantine"] = trainer.run(
+        scale.num_steps, eval_every=scale.eval_every,
+        max_eval_samples=scale.max_eval_samples)
+
+    # GuanYu under simultaneous worker and server attacks.
+    config = ClusterConfig(num_servers=scale.num_servers,
+                           num_workers=scale.num_workers,
+                           num_byzantine_servers=scale.declared_byzantine_servers,
+                           num_byzantine_workers=scale.declared_byzantine_workers)
+    trainer = GuanYuTrainer(config=config,
+                            worker_attack=worker_attack,
+                            num_attacking_workers=num_attacking_workers,
+                            server_attack=server_attack,
+                            num_attacking_servers=num_attacking_servers,
+                            label="guanyu_byzantine", **common)
+    result.histories["guanyu_byzantine"] = trainer.run(
+        scale.num_steps, eval_every=scale.eval_every,
+        max_eval_samples=scale.max_eval_samples)
+
+    return result

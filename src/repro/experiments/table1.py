@@ -1,0 +1,33 @@
+"""Table 1: the CNN model architecture (kernel sizes, strides, parameter count)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.nn.models import PaperCNN
+
+
+def table1_report() -> Dict[str, object]:
+    """Build the Table 1 reproduction: layer inventory and parameter count.
+
+    Returns a dictionary with one entry per layer of the paper's CNN plus the
+    total parameter count, which the paper states is roughly 1.75 million.
+    """
+    model = PaperCNN()
+    layers: List[Dict[str, object]] = [
+        {"layer": "Input", "shape": "3x32x32"},
+        {"layer": "Conv1", "kernel": "5x5x64", "stride": "1x1",
+         "parameters": int(model.conv1.num_parameters())},
+        {"layer": "Pool1", "kernel": "3x3", "stride": "2x2", "parameters": 0},
+        {"layer": "Conv2", "kernel": "5x5x64", "stride": "1x1",
+         "parameters": int(model.conv2.num_parameters())},
+        {"layer": "Pool2", "kernel": "3x3", "stride": "2x2", "parameters": 0},
+        {"layer": "FC1", "units": 384, "parameters": int(model.fc1.num_parameters())},
+        {"layer": "FC2", "units": 192, "parameters": int(model.fc2.num_parameters())},
+        {"layer": "FC3", "units": 10, "parameters": int(model.fc3.num_parameters())},
+    ]
+    return {
+        "layers": layers,
+        "total_parameters": int(model.num_parameters()),
+        "paper_total_parameters": 1_750_000,
+    }

@@ -1,0 +1,19 @@
+"""Metrics: accuracy, loss tracking, throughput and experiment records."""
+
+from repro.metrics.accuracy import evaluate_accuracy, evaluate_loss
+from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.metrics.throughput import (
+    overhead_percent,
+    throughput_updates_per_second,
+    time_to_accuracy,
+)
+
+__all__ = [
+    "evaluate_accuracy",
+    "evaluate_loss",
+    "StepRecord",
+    "TrainingHistory",
+    "throughput_updates_per_second",
+    "time_to_accuracy",
+    "overhead_percent",
+]

@@ -1,0 +1,58 @@
+"""Model quality metrics (top-1 accuracy and loss on a held-out set)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+
+
+def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 256,
+                      max_samples: Optional[int] = None) -> float:
+    """Top-1 accuracy of ``model`` on ``dataset``.
+
+    This is the paper's "top-1 cross-accuracy": the fraction of correct
+    predictions on the testing dataset.
+    """
+    model.eval()
+    total = 0
+    correct = 0
+    limit = len(dataset) if max_samples is None else min(max_samples, len(dataset))
+    with no_grad():
+        for start in range(0, limit, batch_size):
+            stop = min(start + batch_size, limit)
+            features = dataset.features[start:stop]
+            labels = dataset.labels[start:stop]
+            logits = model(Tensor(features))
+            predictions = np.argmax(logits.data, axis=-1)
+            correct += int((predictions == labels).sum())
+            total += stop - start
+    model.train()
+    return correct / total if total else 0.0
+
+
+def evaluate_loss(model: Module, dataset: Dataset, batch_size: int = 256,
+                  max_samples: Optional[int] = None) -> float:
+    """Mean cross-entropy loss of ``model`` on ``dataset``."""
+    model.eval()
+    criterion = CrossEntropyLoss()
+    losses = []
+    weights = []
+    limit = len(dataset) if max_samples is None else min(max_samples, len(dataset))
+    with no_grad():
+        for start in range(0, limit, batch_size):
+            stop = min(start + batch_size, limit)
+            features = dataset.features[start:stop]
+            labels = dataset.labels[start:stop]
+            logits = model(Tensor(features))
+            losses.append(float(criterion(logits, labels).item()))
+            weights.append(stop - start)
+    model.train()
+    if not losses:
+        return float("nan")
+    return float(np.average(losses, weights=weights))

@@ -1,0 +1,37 @@
+"""Asynchronous network simulation.
+
+The original GuanYu deployment runs over gRPC on a Grid5000 cluster; the
+algorithmically relevant properties of that network are (a) unbounded,
+variable message delays and (b) the resulting "first q received" delivery
+order at each node.  This package provides a seeded, discrete-event message
+simulator reproducing exactly those properties, with pluggable delay models
+(constant, uniform, exponential, log-normal, per-link heterogeneity, slow
+nodes, partition bursts) and optional message loss/duplication faults.
+"""
+
+from repro.network.message import Message, MessageKind
+from repro.network.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    HeterogeneousDelay,
+    LogNormalDelay,
+    PartitionDelay,
+    UniformDelay,
+)
+from repro.network.simulator import DeliveryRecord, NetworkSimulator, NetworkStats
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "HeterogeneousDelay",
+    "PartitionDelay",
+    "NetworkSimulator",
+    "NetworkStats",
+    "DeliveryRecord",
+]

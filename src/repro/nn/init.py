@@ -1,0 +1,75 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+models built by different (simulated) nodes from the same seed are
+bit-identical — a requirement of GuanYu's initial condition
+``θ_0^(i) = θ_0`` for every correct parameter server.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator = None) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(shape)
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+            low: float = -0.05, high: float = 0.05) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.05) -> np.ndarray:
+    """Gaussian initialisation with the given standard deviation."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:            # dense: (in, out)
+        fan_in, fan_out = shape
+    elif len(shape) == 4:          # conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (TensorFlow's historical default)."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal initialisation suited to ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+INITIALIZERS = {
+    "zeros": zeros,
+    "uniform": uniform,
+    "normal": normal,
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer '{name}'; available: {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,153 @@
+"""Model zoo for the reproduction.
+
+:class:`PaperCNN` reproduces the architecture of the paper's Table 1 — the
+CIFAR-10 CNN with roughly 1.75 million parameters (two 5x5x64 convolutions,
+two 3x3/2 max-poolings, and 384/192/10 fully-connected layers).
+
+The remaining models are deliberately small so that end-to-end distributed
+experiments (many workers x many servers x hundreds of steps) remain fast on
+a CPU-only machine while exercising exactly the same code paths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.module import Module, Sequential
+from repro.tensor import Tensor
+
+
+class PaperCNN(Module):
+    """The CNN of Table 1 in the paper (~1.75 M parameters).
+
+    Layout (NCHW, CIFAR-10 sized input ``3x32x32``)::
+
+        Conv 5x5x64 (stride 1, SAME)  -> ReLU
+        MaxPool 3x3 (stride 2, SAME)
+        Conv 5x5x64 (stride 1, SAME)  -> ReLU
+        MaxPool 3x3 (stride 2, SAME)
+        Flatten -> Dense 384 -> ReLU -> Dense 192 -> ReLU -> Dense 10
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 32, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2D(in_channels, 64, kernel_size=5, stride=1, padding=2, rng=rng)
+        self.pool1 = MaxPool2D(kernel_size=3, stride=2, padding=1)
+        self.conv2 = Conv2D(64, 64, kernel_size=5, stride=1, padding=2, rng=rng)
+        self.pool2 = MaxPool2D(kernel_size=3, stride=2, padding=1)
+        self.relu = ReLU()
+        self.flatten = Flatten()
+        feature_size = 64 * (image_size // 4) * (image_size // 4)
+        self.fc1 = Dense(feature_size, 384, rng=rng)
+        self.fc2 = Dense(384, 192, rng=rng)
+        self.fc3 = Dense(192, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.relu(self.conv1(x)))
+        x = self.pool2(self.relu(self.conv2(x)))
+        x = self.flatten(x)
+        x = self.relu(self.fc1(x))
+        x = self.relu(self.fc2(x))
+        return self.fc3(x)
+
+
+class SmallCNN(Module):
+    """A scaled-down CNN with the same topology as :class:`PaperCNN`.
+
+    Used by the benchmark harness to keep wall-clock time manageable; the
+    distributed protocol exchanges exactly the same kind of flat parameter
+    vectors, only smaller.
+    """
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 image_size: int = 16, channels: int = 8, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2D(in_channels, channels, kernel_size=3, stride=1, padding=1, rng=rng)
+        self.pool1 = MaxPool2D(kernel_size=2, stride=2)
+        self.conv2 = Conv2D(channels, channels, kernel_size=3, stride=1, padding=1, rng=rng)
+        self.pool2 = MaxPool2D(kernel_size=2, stride=2)
+        self.relu = ReLU()
+        self.flatten = Flatten()
+        feature_size = channels * (image_size // 4) * (image_size // 4)
+        self.fc1 = Dense(feature_size, 32, rng=rng)
+        self.fc2 = Dense(32, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.relu(self.conv1(x)))
+        x = self.pool2(self.relu(self.conv2(x)))
+        x = self.flatten(x)
+        x = self.relu(self.fc1(x))
+        return self.fc2(x)
+
+
+class MLP(Module):
+    """Multi-layer perceptron over flat feature vectors."""
+
+    def __init__(self, in_features: int, hidden: Sequence[int], num_classes: int,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Dense(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Dense(previous, num_classes, rng=rng))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)
+
+
+class SoftmaxRegression(Module):
+    """Linear softmax classifier — the smallest model exercising the stack."""
+
+    def __init__(self, in_features: int, num_classes: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.linear = Dense(in_features, num_classes, rng=rng)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.linear(x)
+
+
+_MODEL_BUILDERS = {
+    "paper_cnn": lambda seed=0, **kw: PaperCNN(seed=seed, **kw),
+    "small_cnn": lambda seed=0, **kw: SmallCNN(seed=seed, **kw),
+    "mlp": lambda seed=0, in_features=64, hidden=(32,), num_classes=10, **kw: MLP(
+        in_features, hidden, num_classes, seed=seed
+    ),
+    "softmax": lambda seed=0, in_features=64, num_classes=10, **kw: SoftmaxRegression(
+        in_features, num_classes, seed=seed
+    ),
+}
+
+
+def build_model(name: str, seed: int = 0, **kwargs) -> Module:
+    """Build a model by name.
+
+    This is the factory the distributed nodes use so that every node builds
+    an *identical* model from the shared seed (GuanYu's ``θ_0`` condition).
+    """
+    try:
+        builder = _MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model '{name}'; available: {sorted(_MODEL_BUILDERS)}"
+        ) from None
+    return builder(seed=seed, **kwargs)

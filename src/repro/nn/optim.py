@@ -1,0 +1,122 @@
+"""Optimisers.
+
+GuanYu's parameter servers apply a *plain* SGD step
+``θ_{t+1} = θ_t − η_t · F(g, ...)`` to stay within the convergence theory, so
+:class:`SGD` is the optimiser used by the reproduction experiments.
+Momentum-SGD and Adam are provided for the single-machine baselines and for
+ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class Optimizer:
+    """Base optimiser operating on a module's parameters."""
+
+    def __init__(self, module: Module, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.module = module
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        """Apply one update using the gradients stored on the parameters."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Clear parameter gradients."""
+        self.module.zero_grad()
+
+    def step_flat(self, flat_gradient: np.ndarray) -> None:
+        """Apply one update from a flat gradient vector.
+
+        Used by the parameter servers, which receive aggregated gradients as
+        flat vectors from the network layer.
+        """
+        offset = 0
+        for param in self.module.parameters():
+            count = param.size
+            param.grad = flat_gradient[offset: offset + count].reshape(param.shape).copy()
+            offset += count
+        self.step()
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent with optional weight decay."""
+
+    def __init__(self, module: Module, learning_rate: float = 0.01,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(module, learning_rate)
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for param in self.module.parameters():
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data -= self.learning_rate * update
+
+
+class MomentumSGD(Optimizer):
+    """SGD with classical (heavy-ball) momentum."""
+
+    def __init__(self, module: Module, learning_rate: float = 0.01,
+                 momentum: float = 0.9, weight_decay: float = 0.0) -> None:
+        super().__init__(module, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.module.parameters():
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            velocity = self._velocity.get(id(param))
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + update
+            self._velocity[id(param)] = velocity
+            param.data -= self.learning_rate * velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, module: Module, learning_rate: float = 1e-3,
+                 betas: Sequence[float] = (0.9, 0.999), eps: float = 1e-8) -> None:
+        super().__init__(module, learning_rate)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        for param in self.module.parameters():
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m = self._m.get(id(param), np.zeros_like(param.data))
+            v = self._v.get(id(param), np.zeros_like(param.data))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad ** 2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1.0 - self.beta1 ** t)
+            v_hat = v / (1.0 - self.beta2 ** t)
+            param.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,96 @@
+"""Learning-rate schedules.
+
+GuanYu's convergence proof requires the classic Robbins–Monro conditions on
+the learning-rate sequence: ``Σ η_t = ∞`` and ``Σ η_t² < ∞``.
+:class:`InverseTimeDecay` satisfies both; :class:`ConstantSchedule` (used by
+the paper's experiments with ``η = 0.001``) does not satisfy the second and
+is provided for fidelity with the experimental section and for ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class LearningRateSchedule:
+    """Base class mapping a step index to a learning rate."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+    def satisfies_robbins_monro(self) -> bool:
+        """Whether the schedule satisfies ``Ση=∞`` and ``Ση²<∞``."""
+        raise NotImplementedError
+
+
+class ConstantSchedule(LearningRateSchedule):
+    """Constant learning rate (paper experiments use 0.001)."""
+
+    def __init__(self, learning_rate: float = 0.001) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate
+
+    def satisfies_robbins_monro(self) -> bool:
+        return False
+
+
+class InverseTimeDecay(LearningRateSchedule):
+    """``η_t = η_0 / (1 + decay · t)^power`` with ``power ∈ (0.5, 1]``.
+
+    With ``power = 1`` the sequence is ``Θ(1/t)`` which satisfies the
+    Robbins–Monro conditions required by the convergence theorem.
+    """
+
+    def __init__(self, initial: float = 0.05, decay: float = 0.01,
+                 power: float = 1.0) -> None:
+        if initial <= 0 or decay <= 0:
+            raise ValueError("initial and decay must be positive")
+        if not 0.5 < power <= 1.0:
+            raise ValueError("power must lie in (0.5, 1]")
+        self.initial = initial
+        self.decay = decay
+        self.power = power
+
+    def __call__(self, step: int) -> float:
+        return self.initial / (1.0 + self.decay * step) ** self.power
+
+    def satisfies_robbins_monro(self) -> bool:
+        return True
+
+
+class StepDecay(LearningRateSchedule):
+    """Piecewise-constant decay: multiply by ``factor`` every ``period`` steps."""
+
+    def __init__(self, initial: float = 0.01, factor: float = 0.5,
+                 period: int = 100) -> None:
+        if initial <= 0 or not 0 < factor < 1 or period <= 0:
+            raise ValueError("invalid StepDecay configuration")
+        self.initial = initial
+        self.factor = factor
+        self.period = period
+
+    def __call__(self, step: int) -> float:
+        return self.initial * self.factor ** (step // self.period)
+
+    def satisfies_robbins_monro(self) -> bool:
+        # Geometric decay sums to a finite value, violating Ση=∞.
+        return False
+
+
+def partial_sums(schedule: LearningRateSchedule, steps: int) -> tuple:
+    """Return ``(Σ η_t, Σ η_t²)`` over the first ``steps`` steps.
+
+    A numeric helper used by the theory tests to illustrate the behaviour of
+    the different schedules.
+    """
+    total = 0.0
+    total_sq = 0.0
+    for t in range(steps):
+        eta = schedule(t)
+        total += eta
+        total_sq += eta * eta
+    return total, total_sq

@@ -1,0 +1,18 @@
+"""Terminal-friendly rendering of experiment results.
+
+The reproduction environment has no display and no plotting libraries, so
+the figures of the paper are rendered as ASCII charts and aligned text
+tables: good enough to eyeball convergence curves, orderings and collapses
+directly in a terminal or a CI log.
+"""
+
+from repro.plotting.ascii import AsciiChart, render_histories, sparkline
+from repro.plotting.tables import format_table, histories_summary_table
+
+__all__ = [
+    "AsciiChart",
+    "sparkline",
+    "render_histories",
+    "format_table",
+    "histories_summary_table",
+]

@@ -1,0 +1,70 @@
+"""Aligned text tables for experiment summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.tracker import TrainingHistory
+from repro.metrics.throughput import (
+    throughput_updates_per_second,
+    time_to_accuracy,
+)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of dict rows as an aligned, pipe-separated text table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of dictionaries; missing keys render as empty cells.
+    columns:
+        Column order (defaults to the keys of the first row).
+    float_format:
+        Format string applied to float cells.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render_cell(value: object) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [max(len(str(column)), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = " | ".join(str(column).ljust(width)
+                        for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [" | ".join(cell.ljust(width) for cell, width in zip(line, widths))
+            for line in rendered]
+    return "\n".join([header, separator] + body)
+
+
+def histories_summary_table(histories: Dict[str, TrainingHistory],
+                            target_accuracy: Optional[float] = None) -> str:
+    """Summary table of several runs (the row format of Figure 3 summaries)."""
+    rows: List[Dict[str, object]] = []
+    for name, history in histories.items():
+        row: Dict[str, object] = {
+            "system": name,
+            "final_accuracy": history.final_accuracy(),
+            "best_accuracy": history.best_accuracy(),
+            "updates": history.total_steps(),
+            "sim_time_s": history.total_time(),
+            "updates_per_s": throughput_updates_per_second(history),
+        }
+        if target_accuracy is not None:
+            row["time_to_target"] = time_to_accuracy(history, target_accuracy)
+        rows.append(row)
+    return format_table(rows)

@@ -1,0 +1,26 @@
+"""Execution runtimes and cost models for the distributed protocol.
+
+Two ways of running GuanYu are provided:
+
+* the **simulated runtime** (driven by :mod:`repro.core.trainer` over
+  :class:`repro.network.NetworkSimulator`) — deterministic, seeded, with a
+  simulated clock used for the time-axis of the Figure 3 reproduction;
+* the **threaded runtime** (:mod:`repro.runtime.threads`) — every node runs
+  in its own Python thread and exchanges messages over real queues, which
+  exercises genuine concurrency, out-of-order delivery and wall-clock timing.
+
+:class:`repro.runtime.cost.CostModel` accounts for local computation time
+(gradient computation, robust aggregation, model updates and the
+tensor↔numpy serialisation overhead the paper discusses in Section 4).
+"""
+
+from repro.runtime.cost import CostModel, GRID5000_LIKE, INSTANT
+from repro.runtime.threads import ThreadedClusterRuntime, ThreadedNodeHandle
+
+__all__ = [
+    "CostModel",
+    "GRID5000_LIKE",
+    "INSTANT",
+    "ThreadedClusterRuntime",
+    "ThreadedNodeHandle",
+]

@@ -1,0 +1,320 @@
+"""Thread-based runtime: every node is a real thread exchanging messages.
+
+The simulated runtime in :mod:`repro.core.trainer` controls time explicitly;
+this runtime instead runs every parameter server and worker in its own
+Python thread, communicating through queues, so that delivery order is
+decided by genuine scheduling non-determinism (plus optional random jitter).
+It is the closest offline equivalent to the paper's gRPC deployment and is
+used by the integration tests to check that the protocol tolerates true
+concurrency, stragglers and Byzantine nodes without relying on the
+simulator's bookkeeping.
+
+The runtime is intentionally independent from :class:`NetworkSimulator`: it
+has its own tiny transport (:class:`ThreadedTransport`) because the
+semantics differ — here the wall clock is real.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.byzantine.base import ServerAttack, WorkerAttack
+from repro.core.config import ClusterConfig
+from repro.core.nodes import ServerNode, WorkerNode, max_pairwise_distance
+from repro.data.datasets import Dataset
+from repro.data.loader import DataLoader, shard_dataset
+from repro.aggregation import get_rule
+from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.network.message import Message, MessageKind
+from repro.nn.module import Module
+from repro.nn.schedules import ConstantSchedule, LearningRateSchedule
+
+
+class QuorumTimeout(RuntimeError):
+    """Raised when a node cannot gather its quorum within the deadline."""
+
+
+class ThreadedTransport:
+    """In-process message transport with optional random delivery jitter."""
+
+    def __init__(self, node_ids: Sequence[str], jitter: float = 0.0,
+                 seed: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._conditions: Dict[str, threading.Condition] = {}
+        self._buffers: Dict[str, Dict[Tuple[MessageKind, int], Dict[str, Message]]] = {}
+        for node_id in node_ids:
+            self._conditions[node_id] = threading.Condition()
+            self._buffers[node_id] = defaultdict(dict)
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+        self.messages_sent = 0
+
+    def _deliver(self, message: Message) -> None:
+        condition = self._conditions[message.recipient]
+        with condition:
+            bucket = self._buffers[message.recipient][(message.kind, message.step)]
+            # Keep only the first message per sender (deduplication).
+            bucket.setdefault(message.sender, message)
+            condition.notify_all()
+
+    def send(self, sender: str, recipient: str, kind: MessageKind, step: int,
+             payload: Optional[np.ndarray]) -> None:
+        """Send a message; ``payload=None`` models a silent Byzantine node."""
+        if payload is None:
+            return
+        if recipient not in self._conditions:
+            raise KeyError(f"unknown recipient '{recipient}'")
+        message = Message(sender=sender, recipient=recipient, kind=kind,
+                          step=step, payload=np.asarray(payload, dtype=np.float64))
+        with self._lock:
+            self.messages_sent += 1
+        if self.jitter > 0:
+            delay = float(self._rng.uniform(0.0, self.jitter))
+            timer = threading.Timer(delay, self._deliver, args=(message,))
+            timer.daemon = True
+            timer.start()
+        else:
+            self._deliver(message)
+
+    def broadcast(self, sender: str, recipients: Sequence[str], kind: MessageKind,
+                  step: int, payload: Optional[np.ndarray]) -> None:
+        for recipient in recipients:
+            self.send(sender, recipient, kind, step, payload)
+
+    def wait_quorum(self, recipient: str, kind: MessageKind, step: int,
+                    quorum: int, timeout: float = 30.0) -> List[np.ndarray]:
+        """Block until ``quorum`` distinct senders delivered, return payloads."""
+        condition = self._conditions[recipient]
+        deadline = time.monotonic() + timeout
+        with condition:
+            while True:
+                bucket = self._buffers[recipient][(kind, step)]
+                if len(bucket) >= quorum:
+                    ordered = sorted(bucket.values(), key=lambda m: m.message_id)
+                    payloads = [m.payload for m in ordered[:quorum]]
+                    # Late messages for this (kind, step) are discarded.
+                    del self._buffers[recipient][(kind, step)]
+                    return payloads
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise QuorumTimeout(
+                        f"{recipient} timed out waiting for {quorum} "
+                        f"'{kind.value}' messages at step {step} "
+                        f"(got {len(bucket)})"
+                    )
+                condition.wait(timeout=remaining)
+
+
+@dataclass
+class ThreadedNodeHandle:
+    """Bookkeeping for one node thread."""
+
+    node_id: str
+    thread: threading.Thread
+    error: List[BaseException] = field(default_factory=list)
+
+
+class ThreadedClusterRuntime:
+    """Run the GuanYu protocol with one thread per node.
+
+    Parameters mirror :class:`repro.core.trainer.GuanYuTrainer`; the timing
+    axis of the returned history is the *real* wall clock.
+
+    Parameters
+    ----------
+    config:
+        Cluster arithmetic (declared Byzantine counts size the quorums).
+    model_fn:
+        Factory producing identically-initialised models for every node.
+    straggler_sleep:
+        Optional mapping ``node_id -> seconds`` slept before each send,
+        modelling slow nodes.
+    jitter:
+        Upper bound of the uniform random delivery delay added per message.
+    """
+
+    def __init__(self, config: ClusterConfig, model_fn: Callable[[], Module],
+                 train_dataset: Dataset, batch_size: int = 16,
+                 schedule: Optional[LearningRateSchedule] = None,
+                 worker_attack: Optional[WorkerAttack] = None,
+                 num_attacking_workers: int = 0,
+                 server_attack: Optional[ServerAttack] = None,
+                 num_attacking_servers: int = 0,
+                 gradient_rule_name: str = "multi_krum",
+                 model_rule_name: str = "median",
+                 jitter: float = 0.0,
+                 straggler_sleep: Optional[Dict[str, float]] = None,
+                 quorum_timeout: float = 60.0,
+                 seed: int = 0) -> None:
+        if num_attacking_workers > config.num_byzantine_workers:
+            raise ValueError("more attacking workers than declared Byzantine workers")
+        if num_attacking_servers > config.num_byzantine_servers:
+            raise ValueError("more attacking servers than declared Byzantine servers")
+        self.config = config
+        self.schedule = schedule if schedule is not None else ConstantSchedule(0.001)
+        self.quorum_timeout = quorum_timeout
+        self.straggler_sleep = dict(straggler_sleep or {})
+
+        worker_ids = config.worker_ids()
+        server_ids = config.server_ids()
+        self.transport = ThreadedTransport(worker_ids + server_ids, jitter=jitter,
+                                           seed=seed)
+
+        shards = shard_dataset(train_dataset, len(worker_ids), seed=seed)
+        attacking_workers = set(worker_ids[len(worker_ids) - num_attacking_workers:]) \
+            if num_attacking_workers else set()
+        attacking_servers = set(server_ids[len(server_ids) - num_attacking_servers:]) \
+            if num_attacking_servers else set()
+
+        self.workers = []
+        for index, worker_id in enumerate(worker_ids):
+            loader = DataLoader(shards[index], batch_size=batch_size,
+                                seed=seed + 100 + index)
+            self.workers.append(WorkerNode(
+                node_id=worker_id, model=model_fn(), loader=loader,
+                model_aggregator=get_rule(model_rule_name,
+                                          num_byzantine=config.num_byzantine_servers),
+                attack=worker_attack if worker_id in attacking_workers else None,
+                seed=seed + 200 + index))
+
+        self.servers = []
+        for index, server_id in enumerate(server_ids):
+            self.servers.append(ServerNode(
+                node_id=server_id, model=model_fn(),
+                gradient_aggregator=get_rule(gradient_rule_name,
+                                             num_byzantine=config.num_byzantine_workers),
+                model_aggregator=get_rule(model_rule_name,
+                                          num_byzantine=config.num_byzantine_servers),
+                schedule=self.schedule,
+                attack=server_attack if server_id in attacking_servers else None,
+                seed=seed + 300 + index))
+
+        self._history = TrainingHistory(label="guanyu-threaded",
+                                        config=config.as_dict())
+        self._record_lock = threading.Lock()
+        self._step_times: Dict[int, float] = {}
+        self._step_losses: Dict[int, List[float]] = defaultdict(list)
+        self._start_time = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def correct_servers(self) -> List[ServerNode]:
+        return [server for server in self.servers if not server.is_byzantine]
+
+    def global_parameters(self) -> np.ndarray:
+        vectors = [server.current_parameters() for server in self.correct_servers]
+        return np.median(np.stack(vectors), axis=0)
+
+    # ------------------------------------------------------------------ #
+    def _maybe_straggle(self, node_id: str) -> None:
+        delay = self.straggler_sleep.get(node_id, 0.0)
+        if delay > 0:
+            time.sleep(delay)
+
+    def _worker_loop(self, worker: WorkerNode, num_steps: int) -> None:
+        server_ids = self.config.server_ids()
+        for step in range(num_steps):
+            models = self.transport.wait_quorum(
+                worker.node_id, MessageKind.MODEL_TO_WORKER, step,
+                quorum=self.config.model_quorum, timeout=self.quorum_timeout)
+            result = worker.compute_gradient(models, step)
+            if not worker.is_byzantine:
+                with self._record_lock:
+                    self._step_losses[step].append(result.loss)
+            self._maybe_straggle(worker.node_id)
+            for server_id in server_ids:
+                payload = worker.outgoing_gradient(result, step,
+                                                   recipient=server_id)
+                self.transport.send(worker.node_id, server_id,
+                                    MessageKind.GRADIENT_TO_SERVER, step, payload)
+
+    def _server_loop(self, server: ServerNode, num_steps: int) -> None:
+        start_time = self._start_time
+        worker_ids = self.config.worker_ids()
+        server_ids = self.config.server_ids()
+        for step in range(num_steps):
+            self._maybe_straggle(server.node_id)
+            # Phase 1: broadcast the current model to the workers.
+            for worker_id in worker_ids:
+                payload = server.outgoing_model(step, recipient=worker_id)
+                self.transport.send(server.node_id, worker_id,
+                                    MessageKind.MODEL_TO_WORKER, step, payload)
+            # Phase 2: gather gradients and update (Byzantine servers skip the
+            # honest computation — whatever they hold is corrupted on send).
+            gradients = self.transport.wait_quorum(
+                server.node_id, MessageKind.GRADIENT_TO_SERVER, step,
+                quorum=self.config.gradient_quorum, timeout=self.quorum_timeout)
+            server.apply_gradients(gradients, step)
+            # Phase 3: exchange models between servers and take the median.
+            for server_id in server_ids:
+                payload = server.outgoing_model(step, recipient=server_id) \
+                    if server_id != server.node_id else server.current_parameters()
+                self.transport.send(server.node_id, server_id,
+                                    MessageKind.MODEL_TO_SERVER, step, payload)
+            models = self.transport.wait_quorum(
+                server.node_id, MessageKind.MODEL_TO_SERVER, step,
+                quorum=self.config.model_quorum, timeout=self.quorum_timeout)
+            server.merge_models(models)
+            with self._record_lock:
+                self._step_times[step] = max(self._step_times.get(step, 0.0),
+                                             time.perf_counter() - start_time)
+
+    # ------------------------------------------------------------------ #
+    def run(self, num_steps: int) -> TrainingHistory:
+        """Run ``num_steps`` protocol steps and return the training history.
+
+        Raises the first node exception encountered (e.g. a quorum timeout),
+        so failures surface in tests instead of silently producing an empty
+        history.
+        """
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        self._start_time = time.perf_counter()
+        handles: List[ThreadedNodeHandle] = []
+
+        def launch(target, node) -> None:
+            errors: List[BaseException] = []
+
+            def runner() -> None:
+                try:
+                    target(node, num_steps)
+                except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                    errors.append(exc)
+
+            thread = threading.Thread(target=runner, daemon=True,
+                                      name=f"node-{node.node_id}")
+            handles.append(ThreadedNodeHandle(node_id=node.node_id, thread=thread,
+                                              error=errors))
+            thread.start()
+
+        for worker in self.workers:
+            launch(self._worker_loop, worker)
+        for server in self.servers:
+            launch(self._server_loop, server)
+
+        for handle in handles:
+            handle.thread.join(timeout=self.quorum_timeout * (num_steps + 1))
+        for handle in handles:
+            if handle.error:
+                raise handle.error[0]
+            if handle.thread.is_alive():
+                raise QuorumTimeout(f"node {handle.node_id} did not terminate")
+
+        spread = max_pairwise_distance(
+            [server.current_parameters() for server in self.correct_servers])
+        for step in range(num_steps):
+            losses = self._step_losses.get(step, [])
+            self._history.add(StepRecord(
+                step=step,
+                simulated_time=self._step_times.get(step, 0.0),
+                train_loss=float(np.mean(losses)) if losses else None,
+                max_server_spread=spread if step == num_steps - 1 else None,
+                learning_rate=self.schedule(step),
+            ))
+        return self._history

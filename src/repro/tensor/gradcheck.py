@@ -1,0 +1,77 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every differentiable operation against
+central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Estimate ``d func / d inputs[index]`` with central differences."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(func(*inputs).data.sum())
+        flat[i] = original - epsilon
+        minus = float(func(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def gradient_check(
+    func: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> bool:
+    """Compare analytic gradients against finite differences.
+
+    Parameters
+    ----------
+    func:
+        Function mapping the input tensors to an output tensor; the check is
+        performed on the sum of the output.
+    inputs:
+        Tensors, each with ``requires_grad=True``, to differentiate against.
+
+    Returns
+    -------
+    bool
+        ``True`` when all analytic gradients match the numerical estimates
+        within the given tolerances.  Raises ``AssertionError`` otherwise so
+        that test failures carry the offending values.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = func(*inputs)
+    output.sum().backward()
+
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        numeric = numerical_gradient(func, inputs, index, epsilon=epsilon)
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            max_err = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}"
+            )
+    return True

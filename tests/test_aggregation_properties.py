@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the aggregation rules.
+
+These encode the invariants the convergence proof relies on:
+
+* the coordinate-wise median stays inside the coordinate-wise range of the
+  correct inputs as long as they form a strict majority (Lemma 9.2.3's
+  parallelotope argument);
+* Multi-Krum's deviation from the honest cloud is bounded by a constant
+  times the honest spread, no matter what the Byzantine inputs are
+  (Lemma 9.2.2);
+* all rules are permutation-invariant (message arrival order within the
+  quorum must not matter);
+* the arithmetic mean has no such protection (it is the vulnerable baseline).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.aggregation import (
+    ArithmeticMean,
+    CoordinateWiseMedian,
+    MultiKrum,
+    TrimmedMean,
+    byzantine_resilience_report,
+)
+from repro.theory import multi_krum_deviation_ratio
+
+finite_floats = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                          allow_infinity=False)
+
+
+def correct_cloud(min_rows=3, max_rows=8, min_cols=1, max_cols=6):
+    """Strategy producing an (n, d) array of bounded finite floats."""
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(min_rows, max_rows),
+                        st.integers(min_cols, max_cols)),
+        elements=finite_floats,
+    )
+
+
+class TestMedianProperties:
+    @given(cloud=correct_cloud(min_rows=3))
+    @settings(max_examples=60, deadline=None)
+    def test_median_within_coordinatewise_range(self, cloud):
+        out = CoordinateWiseMedian()(cloud)
+        assert np.all(out >= cloud.min(axis=0) - 1e-9)
+        assert np.all(out <= cloud.max(axis=0) + 1e-9)
+
+    @given(cloud=correct_cloud(min_rows=5), scale=st.floats(1e3, 1e8))
+    @settings(max_examples=60, deadline=None)
+    def test_median_bounded_by_correct_inputs_under_minority_attack(self, cloud, scale):
+        num_byzantine = (cloud.shape[0] - 1) // 2
+        byzantine = np.full((num_byzantine, cloud.shape[1]), scale)
+        out = CoordinateWiseMedian(num_byzantine=num_byzantine)(
+            np.concatenate([cloud, byzantine]))
+        assert np.all(out <= cloud.max(axis=0) + 1e-9)
+        assert np.all(out >= cloud.min(axis=0) - 1e-9)
+
+    @given(cloud=correct_cloud(min_rows=3), seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_median_permutation_invariant(self, cloud, seed):
+        rng = np.random.default_rng(seed)
+        permuted = cloud[rng.permutation(cloud.shape[0])]
+        assert np.allclose(CoordinateWiseMedian()(cloud),
+                           CoordinateWiseMedian()(permuted))
+
+    @given(cloud=correct_cloud(min_rows=3), shift=finite_floats)
+    @settings(max_examples=40, deadline=None)
+    def test_median_translation_equivariant(self, cloud, shift):
+        shifted = cloud + shift
+        assert np.allclose(CoordinateWiseMedian()(shifted),
+                           CoordinateWiseMedian()(cloud) + shift, atol=1e-6)
+
+
+class TestMultiKrumProperties:
+    @given(
+        num_correct=st.integers(5, 12),
+        dimension=st.integers(1, 8),
+        num_byzantine=st.integers(1, 3),
+        scale=st.floats(10.0, 1e6),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_deviation_lemma(self, num_correct, dimension, num_byzantine,
+                                     scale, seed):
+        """Lemma 9.2.2: deviation bounded by a constant times the honest spread."""
+        if num_correct < 2 * num_byzantine + 3 - num_byzantine:
+            num_correct = 2 * num_byzantine + 3
+        rng = np.random.default_rng(seed)
+        correct = rng.normal(0.0, 1.0, size=(num_correct, dimension))
+        byzantine = rng.normal(0.0, scale, size=(num_byzantine, dimension))
+        ratio = multi_krum_deviation_ratio(correct, byzantine,
+                                           num_byzantine=num_byzantine)
+        # The constant is architecture-independent; n, f <= 15 keeps it small.
+        assert ratio < 2.0 * (num_correct + num_byzantine)
+
+    @given(num_inputs=st.integers(5, 9), dimension=st.integers(1, 6),
+           seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariant(self, num_inputs, dimension, seed):
+        # Continuous random clouds have no tied Krum scores (probability 0),
+        # so the selected set — and hence the output — is permutation-invariant.
+        rng = np.random.default_rng(seed)
+        cloud = rng.normal(size=(num_inputs, dimension))
+        permuted = cloud[rng.permutation(cloud.shape[0])]
+        rule = MultiKrum(num_byzantine=1)
+        assert np.allclose(rule(cloud), rule(permuted), atol=1e-9)
+
+    @given(
+        dimension=st.integers(1, 10),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_in_convex_hull_bounding_box_of_selected(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        cloud = rng.normal(size=(9, dimension))
+        rule = MultiKrum(num_byzantine=2)
+        out = rule(cloud)
+        assert np.all(out >= cloud.min(axis=0) - 1e-9)
+        assert np.all(out <= cloud.max(axis=0) + 1e-9)
+
+
+class TestTrimmedMeanProperties:
+    @given(cloud=correct_cloud(min_rows=5), scale=st.floats(1e3, 1e7))
+    @settings(max_examples=40, deadline=None)
+    def test_single_outlier_trimmed(self, cloud, scale):
+        attacked = np.concatenate([cloud, np.full((1, cloud.shape[1]), scale)])
+        out = TrimmedMean(num_byzantine=1)(attacked)
+        assert np.all(out <= cloud.max(axis=0) + 1e-9)
+
+
+class TestMeanVulnerability:
+    @given(cloud=correct_cloud(min_rows=3), scale=st.floats(1e6, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_leaves_correct_hull_under_attack(self, cloud, scale):
+        """The vanilla baseline has breakdown point 0: one attacker suffices."""
+        byzantine = np.full((1, cloud.shape[1]), scale)
+        report = byzantine_resilience_report(ArithmeticMean(), cloud, byzantine)
+        assert not report.within_correct_hull
+
+    @given(cloud=correct_cloud(min_rows=5), scale=st.floats(1e6, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_median_stays_in_hull_where_mean_escapes(self, cloud, scale):
+        byzantine = np.full((1, cloud.shape[1]), scale)
+        median_report = byzantine_resilience_report(
+            CoordinateWiseMedian(num_byzantine=1), cloud, byzantine)
+        assert median_report.within_correct_hull

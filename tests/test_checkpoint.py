@@ -1,0 +1,67 @@
+"""Tests for checkpoint save/load of distributed training state."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, GuanYuTrainer
+from repro.core.checkpoint import (
+    checkpoint_trainer,
+    load_checkpoint,
+    restore_trainer,
+    save_checkpoint,
+)
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        parameters = {"ps/0": np.arange(5.0), "ps/1": np.ones(5)}
+        save_checkpoint(tmp_path / "ckpt", parameters, step=42, config={"lr": 0.05})
+        loaded, step, config = load_checkpoint(tmp_path / "ckpt")
+        assert step == 42
+        assert config == {"lr": 0.05}
+        assert set(loaded) == {"ps/0", "ps/1"}
+        assert np.allclose(loaded["ps/0"], np.arange(5.0))
+
+    def test_empty_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path, {}, step=0)
+
+    def test_negative_step_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_checkpoint(tmp_path, {"ps/0": np.zeros(3)}, step=-1)
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+
+class TestTrainerCheckpointing:
+    def _trainer(self, blobs_split, model_fn, schedule, seed=4):
+        train, test = blobs_split
+        config = ClusterConfig(num_servers=4, num_workers=6)
+        return GuanYuTrainer(config=config, model_fn=model_fn, train_dataset=train,
+                             test_dataset=test, batch_size=16, schedule=schedule,
+                             seed=seed)
+
+    def test_checkpoint_and_restore_trainer(self, tmp_path, blobs_split,
+                                            softmax_model_fn, fast_schedule):
+        trainer = self._trainer(blobs_split, softmax_model_fn, fast_schedule)
+        trainer.run(num_steps=10, eval_every=10)
+        path = checkpoint_trainer(trainer, tmp_path / "ckpt")
+
+        fresh = self._trainer(blobs_split, softmax_model_fn, fast_schedule, seed=9)
+        before = fresh.correct_servers[0].current_parameters().copy()
+        step = restore_trainer(fresh, path)
+        assert step == 10
+        restored = fresh.correct_servers[0].current_parameters()
+        assert not np.allclose(restored, before)
+        assert np.allclose(restored,
+                           trainer.correct_servers[0].current_parameters())
+
+    def test_restore_mismatched_cluster_raises(self, tmp_path, blobs_split,
+                                               softmax_model_fn, fast_schedule):
+        parameters = {"ps/99": np.zeros(36)}
+        save_checkpoint(tmp_path / "ckpt", parameters, step=1)
+        trainer = self._trainer(blobs_split, softmax_model_fn, fast_schedule)
+        with pytest.raises(ValueError):
+            restore_trainer(trainer, tmp_path / "ckpt")

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def _run(capsys, argv):
+    exit_code = cli.main(argv)
+    captured = capsys.readouterr()
+    return exit_code, captured.out
+
+
+BASE_ARGS = ["--steps", "6", "--workers-count", "6", "--servers-count", "3"]
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["figure99"])
+
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["figure3"])
+        assert args.batch_size == 128
+        assert args.preset == "small"
+
+
+class TestSubcommands:
+    def test_table1(self, capsys):
+        code, out = _run(capsys, ["table1"])
+        assert code == 0
+        assert "1,756,426" in out
+
+    def test_table1_json_output(self, capsys, tmp_path):
+        path = tmp_path / "table1.json"
+        code, _ = _run(capsys, ["--json", str(path), "table1"])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["total_parameters"] == 1756426
+
+    def test_figure3(self, capsys):
+        code, out = _run(capsys, BASE_ARGS + ["figure3", "--batch-size", "16"])
+        assert code == 0
+        assert "vanilla_tf" in out
+        assert "top-1 accuracy" in out  # the ASCII chart was rendered
+
+    def test_figure4(self, capsys):
+        code, out = _run(capsys, BASE_ARGS + ["figure4"])
+        assert code == 0
+        assert "guanyu_byzantine" in out
+
+    def test_table2(self, capsys):
+        code, out = _run(capsys, BASE_ARGS + ["table2", "--interval", "2"])
+        assert code == 0
+        assert "cos_phi" in out
+
+    def test_overhead(self, capsys):
+        code, out = _run(capsys, BASE_ARGS + ["overhead"])
+        assert code == 0
+        assert "runtime_overhead_percent" in out
+
+    def test_scaling_with_custom_worker_counts(self, capsys):
+        code, out = _run(capsys, BASE_ARGS + ["scaling", "--workers", "6", "9"])
+        assert code == 0
+        assert "num_workers" in out
+
+    def test_quorums(self, capsys):
+        code, out = _run(capsys, ["--steps", "4", "--workers-count", "9",
+                                  "--servers-count", "3", "quorums"])
+        assert code == 0
+        assert "q=" in out
+
+    def test_gars(self, capsys):
+        code, out = _run(capsys, BASE_ARGS + ["gars"])
+        assert code == 0
+        assert "multi_krum" in out
+
+    def test_json_dump_for_histories(self, capsys, tmp_path):
+        path = tmp_path / "fig4.json"
+        code, _ = _run(capsys, BASE_ARGS + ["--json", str(path), "figure4"])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert "vanilla_tf_byzantine" in payload

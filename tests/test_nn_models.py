@@ -1,0 +1,70 @@
+"""Tests for the model zoo, in particular the paper's Table 1 CNN."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, PaperCNN, SmallCNN, SoftmaxRegression, build_model
+from repro.tensor import Tensor
+
+
+class TestPaperCNN:
+    """Table 1: the CIFAR-10 CNN with roughly 1.75 million parameters."""
+
+    def test_parameter_count_matches_table1(self):
+        model = PaperCNN()
+        # The paper states "a total of 1.75M parameters".
+        assert abs(model.num_parameters() - 1.75e6) < 0.02e6
+
+    def test_layer_shapes_follow_table1(self):
+        model = PaperCNN()
+        assert model.conv1.weight.shape == (64, 3, 5, 5)
+        assert model.conv2.weight.shape == (64, 64, 5, 5)
+        assert model.fc1.weight.shape == (64 * 8 * 8, 384)
+        assert model.fc2.weight.shape == (384, 192)
+        assert model.fc3.weight.shape == (192, 10)
+
+    def test_forward_output_shape(self):
+        model = PaperCNN()
+        out = model(Tensor(np.zeros((2, 3, 32, 32))))
+        assert out.shape == (2, 10)
+
+    def test_same_seed_builds_identical_models(self):
+        a = PaperCNN(seed=3)
+        b = PaperCNN(seed=3)
+        assert np.allclose(a.get_flat_parameters(), b.get_flat_parameters())
+
+
+class TestOtherModels:
+    def test_small_cnn_forward(self):
+        model = SmallCNN(image_size=16)
+        assert model(Tensor(np.zeros((4, 3, 16, 16)))).shape == (4, 10)
+
+    def test_small_cnn_much_smaller_than_paper_cnn(self):
+        assert SmallCNN().num_parameters() < PaperCNN().num_parameters() / 50
+
+    def test_mlp_flattens_image_inputs(self):
+        model = MLP(3 * 8 * 8, (16,), 10)
+        assert model(Tensor(np.zeros((2, 3, 8, 8)))).shape == (2, 10)
+
+    def test_softmax_regression_shapes(self):
+        model = SoftmaxRegression(20, 4)
+        assert model(Tensor(np.zeros((7, 20)))).shape == (7, 4)
+        assert model.num_parameters() == 20 * 4 + 4
+
+
+class TestBuildModel:
+    def test_build_all_registered_models(self):
+        assert isinstance(build_model("paper_cnn"), PaperCNN)
+        assert isinstance(build_model("small_cnn"), SmallCNN)
+        assert isinstance(build_model("mlp", in_features=8, num_classes=2), MLP)
+        assert isinstance(build_model("softmax", in_features=8, num_classes=2),
+                          SoftmaxRegression)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet152")
+
+    def test_factory_seed_determinism(self):
+        a = build_model("mlp", in_features=6, num_classes=3, seed=9)
+        b = build_model("mlp", in_features=6, num_classes=3, seed=9)
+        assert np.allclose(a.get_flat_parameters(), b.get_flat_parameters())

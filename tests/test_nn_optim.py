@@ -1,0 +1,135 @@
+"""Tests for optimisers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Dense, MomentumSGD
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.module import Module, Parameter
+from repro.nn.schedules import (
+    ConstantSchedule,
+    InverseTimeDecay,
+    StepDecay,
+    partial_sums,
+)
+from repro.tensor import Tensor
+
+
+class Quadratic(Module):
+    """f(w) = ||w - target||^2 — a convex test objective."""
+
+    def __init__(self, target):
+        super().__init__()
+        self.w = Parameter(np.zeros_like(target))
+        self.target = np.asarray(target, dtype=np.float64)
+
+    def forward(self, x=None):
+        diff = self.w - Tensor(self.target)
+        return (diff * diff).sum()
+
+
+def _train(optimizer, model, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = model(None)
+        loss.backward()
+        optimizer.step()
+    return float(model(None).item())
+
+
+class TestOptimizers:
+    target = np.array([1.0, -2.0, 3.0])
+
+    def test_sgd_converges_on_quadratic(self):
+        model = Quadratic(self.target)
+        assert _train(SGD(model, 0.1), model) < 1e-6
+
+    def test_momentum_converges_on_quadratic(self):
+        model = Quadratic(self.target)
+        assert _train(MomentumSGD(model, 0.05, momentum=0.9), model) < 1e-6
+
+    def test_adam_converges_on_quadratic(self):
+        model = Quadratic(self.target)
+        assert _train(Adam(model, 0.1), model, steps=400) < 1e-4
+
+    def test_sgd_weight_decay_shrinks_weights(self):
+        model = Quadratic(np.zeros(3))
+        model.w.data[...] = 10.0
+        optimizer = SGD(model, 0.1, weight_decay=0.5)
+        _train(optimizer, model, steps=50)
+        assert np.all(np.abs(model.w.data) < 10.0)
+
+    def test_invalid_learning_rate_raises(self):
+        with pytest.raises(ValueError):
+            SGD(Quadratic(self.target), learning_rate=0.0)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            MomentumSGD(Quadratic(self.target), momentum=1.5)
+
+    def test_step_skips_parameters_without_gradients(self):
+        model = Quadratic(self.target)
+        before = model.w.data.copy()
+        SGD(model, 0.1).step()
+        assert np.allclose(model.w.data, before)
+
+    def test_step_flat_applies_external_gradient(self):
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        optimizer = SGD(layer, 0.5)
+        before = layer.get_flat_parameters()
+        optimizer.step_flat(np.ones_like(before))
+        assert np.allclose(layer.get_flat_parameters(), before - 0.5)
+
+
+class TestLosses:
+    def test_mse_loss_zero_for_equal_inputs(self):
+        loss = MSELoss()(Tensor(np.ones((2, 3))), np.ones((2, 3)))
+        assert loss.item() == pytest.approx(0.0)
+
+    def test_mse_loss_value(self):
+        loss = MSELoss()(Tensor(np.zeros(4)), np.full(4, 2.0))
+        assert loss.item() == pytest.approx(4.0)
+
+    def test_cross_entropy_loss_callable(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        loss = CrossEntropyLoss()(logits, np.array([0, 2]))
+        loss.backward()
+        assert logits.grad is not None
+
+
+class TestSchedules:
+    def test_constant_schedule(self):
+        schedule = ConstantSchedule(0.01)
+        assert schedule(0) == schedule(1000) == 0.01
+        assert not schedule.satisfies_robbins_monro()
+
+    def test_inverse_time_decay_decreases(self):
+        schedule = InverseTimeDecay(initial=0.1, decay=0.1)
+        assert schedule(0) == pytest.approx(0.1)
+        assert schedule(100) < schedule(10) < schedule(0)
+        assert schedule.satisfies_robbins_monro()
+
+    def test_step_decay_piecewise(self):
+        schedule = StepDecay(initial=1.0, factor=0.5, period=10)
+        assert schedule(9) == 1.0
+        assert schedule(10) == 0.5
+        assert schedule(25) == 0.25
+
+    def test_invalid_configurations_raise(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            InverseTimeDecay(initial=-1.0)
+        with pytest.raises(ValueError):
+            InverseTimeDecay(power=0.3)
+        with pytest.raises(ValueError):
+            StepDecay(factor=2.0)
+
+    def test_partial_sums_reflect_robbins_monro_behaviour(self):
+        # 1/t decay: Ση grows without bound while Ση² stays bounded.
+        decay = InverseTimeDecay(initial=1.0, decay=1.0, power=1.0)
+        total_short, square_short = partial_sums(decay, 100)
+        total_long, square_long = partial_sums(decay, 10000)
+        # The harmonic-like sum keeps growing (log n), the squared sum stalls.
+        assert total_long > 1.8 * total_short
+        assert square_long < square_short + 0.2

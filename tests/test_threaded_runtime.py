@@ -1,0 +1,104 @@
+"""Tests for the thread-based runtime (real concurrency)."""
+
+import numpy as np
+import pytest
+
+from repro.byzantine import CorruptedModelAttack, RandomGradientAttack
+from repro.core import ClusterConfig
+from repro.metrics import evaluate_accuracy
+from repro.nn.schedules import ConstantSchedule
+from repro.runtime.threads import QuorumTimeout, ThreadedClusterRuntime, ThreadedTransport
+from repro.network.message import MessageKind
+
+
+class TestThreadedTransport:
+    def test_send_and_wait_quorum(self):
+        transport = ThreadedTransport(["a", "b"])
+        transport.send("a", "b", MessageKind.MODEL_TO_WORKER, 0, np.ones(3))
+        payloads = transport.wait_quorum("b", MessageKind.MODEL_TO_WORKER, 0, 1,
+                                         timeout=1.0)
+        assert len(payloads) == 1
+        assert np.allclose(payloads[0], 1.0)
+
+    def test_silent_payload_not_delivered(self):
+        transport = ThreadedTransport(["a", "b"])
+        transport.send("a", "b", MessageKind.MODEL_TO_WORKER, 0, None)
+        with pytest.raises(QuorumTimeout):
+            transport.wait_quorum("b", MessageKind.MODEL_TO_WORKER, 0, 1, timeout=0.2)
+
+    def test_duplicate_senders_count_once(self):
+        transport = ThreadedTransport(["a", "b"])
+        transport.send("a", "b", MessageKind.MODEL_TO_WORKER, 0, np.zeros(2))
+        transport.send("a", "b", MessageKind.MODEL_TO_WORKER, 0, np.ones(2))
+        with pytest.raises(QuorumTimeout):
+            transport.wait_quorum("b", MessageKind.MODEL_TO_WORKER, 0, 2, timeout=0.2)
+
+    def test_unknown_recipient_raises(self):
+        transport = ThreadedTransport(["a"])
+        with pytest.raises(KeyError):
+            transport.send("a", "ghost", MessageKind.MODEL_TO_WORKER, 0, np.zeros(1))
+
+    def test_messages_for_other_steps_do_not_satisfy_quorum(self):
+        transport = ThreadedTransport(["a", "b"])
+        transport.send("a", "b", MessageKind.MODEL_TO_WORKER, 1, np.zeros(1))
+        with pytest.raises(QuorumTimeout):
+            transport.wait_quorum("b", MessageKind.MODEL_TO_WORKER, 0, 1, timeout=0.2)
+
+
+class TestThreadedClusterRuntime:
+    def _runtime(self, blobs_split, model_fn, **kwargs):
+        train, _ = blobs_split
+        config = kwargs.pop("config", ClusterConfig(num_servers=3, num_workers=4))
+        return ThreadedClusterRuntime(config=config, model_fn=model_fn,
+                                      train_dataset=train, batch_size=16,
+                                      schedule=ConstantSchedule(0.05), seed=0,
+                                      **kwargs)
+
+    def test_runs_and_learns(self, blobs_split, softmax_model_fn):
+        train, test = blobs_split
+        runtime = self._runtime(blobs_split, softmax_model_fn)
+        history = runtime.run(num_steps=25)
+        assert len(history) == 25
+        model = softmax_model_fn()
+        model.set_flat_parameters(runtime.global_parameters())
+        assert evaluate_accuracy(model, test) > 0.8
+
+    def test_correct_servers_agree_after_run(self, blobs_split, softmax_model_fn):
+        runtime = self._runtime(blobs_split, softmax_model_fn)
+        history = runtime.run(num_steps=10)
+        final_spread = history.records[-1].max_server_spread
+        assert final_spread is not None and final_spread < 1.0
+
+    def test_tolerates_byzantine_nodes_with_jitter(self, blobs_split,
+                                                   softmax_model_fn):
+        train, test = blobs_split
+        config = ClusterConfig(num_servers=6, num_workers=9,
+                               num_byzantine_servers=1, num_byzantine_workers=2)
+        runtime = ThreadedClusterRuntime(
+            config=config, model_fn=softmax_model_fn, train_dataset=train,
+            batch_size=16, schedule=ConstantSchedule(0.05), seed=0, jitter=0.002,
+            worker_attack=RandomGradientAttack(scale=100.0), num_attacking_workers=2,
+            server_attack=CorruptedModelAttack(noise_scale=100.0),
+            num_attacking_servers=1)
+        runtime.run(num_steps=25)
+        model = softmax_model_fn()
+        model.set_flat_parameters(runtime.global_parameters())
+        assert evaluate_accuracy(model, test) > 0.8
+
+    def test_straggler_does_not_block_progress(self, blobs_split, softmax_model_fn):
+        config = ClusterConfig(num_servers=3, num_workers=6)
+        runtime = self._runtime(blobs_split, softmax_model_fn, config=config,
+                                straggler_sleep={"worker/5": 0.02})
+        history = runtime.run(num_steps=5)
+        assert len(history) == 5
+
+    def test_attack_count_validation(self, blobs_split, softmax_model_fn):
+        with pytest.raises(ValueError):
+            self._runtime(blobs_split, softmax_model_fn,
+                          worker_attack=RandomGradientAttack(),
+                          num_attacking_workers=1)
+
+    def test_invalid_num_steps(self, blobs_split, softmax_model_fn):
+        runtime = self._runtime(blobs_split, softmax_model_fn)
+        with pytest.raises(ValueError):
+            runtime.run(num_steps=0)
