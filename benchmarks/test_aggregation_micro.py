@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.aggregation import ArithmeticMean, CoordinateWiseMedian, MultiKrum
+from repro.aggregation.krum import pairwise_squared_distances
+from repro.core.nodes import max_pairwise_distance
 
 #: the paper's gradient-quorum size and (reduced) parameter dimension
 NUM_INPUTS = 13
@@ -38,3 +40,34 @@ def test_multi_krum_aggregation_speed(benchmark, gradient_cloud):
     rule = MultiKrum(num_byzantine=5)
     out = benchmark(rule, gradient_cloud)
     assert out.shape == (DIMENSION,)
+
+
+# --------------------------------------------------------------------------- #
+# Pairwise distances (Gram-matrix path shared by Krum/Multi-Krum/Bulyan and
+# the server-spread metric)
+# --------------------------------------------------------------------------- #
+def _naive_max_pairwise_distance(cloud: np.ndarray) -> float:
+    """Reference O(n²) Python-loop implementation (pre-vectorisation)."""
+    best = 0.0
+    for i in range(cloud.shape[0]):
+        for j in range(i + 1, cloud.shape[0]):
+            best = max(best, float(np.linalg.norm(cloud[i] - cloud[j])))
+    return best
+
+
+def test_pairwise_squared_distances_match_direct_norms(gradient_cloud):
+    squared = pairwise_squared_distances(gradient_cloud)
+    assert squared.shape == (NUM_INPUTS, NUM_INPUTS)
+    assert np.allclose(squared, squared.T)
+    assert np.all(np.diag(squared) == 0.0)
+    assert np.all(squared >= 0.0)
+    for i, j in ((0, 1), (3, 7), (12, 4)):
+        direct = float(np.sum((gradient_cloud[i] - gradient_cloud[j]) ** 2))
+        assert squared[i, j] == pytest.approx(direct, rel=1e-9)
+
+
+def test_max_pairwise_distance_speed(benchmark, gradient_cloud):
+    """The vectorised server-spread metric must match the naive loop."""
+    expected = _naive_max_pairwise_distance(gradient_cloud)
+    result = benchmark(max_pairwise_distance, list(gradient_cloud))
+    assert result == pytest.approx(expected, rel=1e-9)

@@ -23,10 +23,17 @@ import numpy as np
 from repro.aggregation.base import GradientAggregationRule
 
 
-def _pairwise_squared_distances(stacked: np.ndarray) -> np.ndarray:
-    """Return the ``(n, n)`` matrix of squared Euclidean distances."""
-    norms = (stacked ** 2).sum(axis=1)
-    squared = norms[:, None] + norms[None, :] - 2.0 * stacked @ stacked.T
+def pairwise_squared_distances(stacked: np.ndarray) -> np.ndarray:
+    """Return the ``(n, n)`` matrix of squared Euclidean distances.
+
+    One Gram-matrix product plus broadcasting — ``||x_i − x_j||² =
+    ||x_i||² + ||x_j||² − 2⟨x_i, x_j⟩`` — instead of an ``O(n²)``
+    Python-level loop.  Shared by Krum/Multi-Krum/Bulyan scoring and by the
+    server-spread metric (:func:`repro.core.nodes.max_pairwise_distance`).
+    """
+    stacked = np.asarray(stacked, dtype=np.float64)
+    norms = np.einsum("ij,ij->i", stacked, stacked)
+    squared = norms[:, None] + norms[None, :] - 2.0 * (stacked @ stacked.T)
     np.fill_diagonal(squared, 0.0)
     return np.maximum(squared, 0.0)
 
@@ -43,7 +50,7 @@ def krum_scores(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
         raise ValueError(
             f"Krum requires n - f - 2 >= 1 (got n={n}, f={num_byzantine})"
         )
-    squared = _pairwise_squared_distances(stacked)
+    squared = pairwise_squared_distances(stacked)
     # Exclude the vector itself (distance 0 on the diagonal) from neighbours.
     np.fill_diagonal(squared, np.inf)
     nearest = np.sort(squared, axis=1)[:, :num_neighbors]

@@ -1,0 +1,310 @@
+"""Campaign execution engine.
+
+Turns expanded :class:`~repro.campaign.spec.ScenarioSpec` lists into
+:class:`~repro.metrics.tracker.TrainingHistory` results:
+
+* scenarios already present in the optional :class:`ResultStore` are served
+  from cache (this is what makes interrupted campaigns resumable — re-run
+  the same campaign and only the missing cells execute);
+* missing scenarios run through the existing simulated / threaded trainers,
+  serially or on a ``multiprocessing`` pool, each with the deterministic
+  seed carried by its spec;
+* a failing scenario never takes the campaign down: its traceback is
+  captured into a ``failed`` outcome and the remaining scenarios proceed.
+
+NOTE: :mod:`repro.experiments` imports are deliberately *lazy* — the legacy
+experiment harnesses are themselves campaign definitions, so module-level
+imports would be circular (see :mod:`repro.campaign.spec`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.aggregation import get_rule
+from repro.campaign.spec import CampaignSpec, ScenarioSpec, ensure_unique_names
+from repro.campaign.store import ResultStore
+from repro.core.trainer import (
+    GuanYuTrainer,
+    SingleServerKrumTrainer,
+    VanillaTrainer,
+)
+from repro.metrics.tracker import TrainingHistory
+from repro.runtime.threads import ThreadedClusterRuntime
+
+#: callback signature: ``progress(outcome, completed_count, total_count)``
+ProgressCallback = Callable[["ScenarioOutcome", int, int], None]
+
+
+# --------------------------------------------------------------------------- #
+# Outcomes
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScenarioOutcome:
+    """What happened to one scenario of a campaign."""
+
+    spec: ScenarioSpec
+    status: str  # "ran" | "cached" | "failed"
+    history: Optional[TrainingHistory] = None
+    error: Optional[str] = None
+    #: full traceback of a failed scenario (``error`` is the one-line form)
+    traceback: Optional[str] = None
+    duration_seconds: float = 0.0
+    store_key: Optional[str] = None
+
+
+@dataclass
+class CampaignResult:
+    """Ordered outcomes of one campaign execution."""
+
+    name: str
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+
+    def histories(self) -> Dict[str, TrainingHistory]:
+        """Scenario name → history for every non-failed scenario."""
+        return {outcome.spec.name: outcome.history for outcome in self.outcomes
+                if outcome.history is not None}
+
+    def counts(self) -> Dict[str, int]:
+        counts = {"ran": 0, "cached": 0, "failed": 0}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    def failures(self) -> List[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes
+                if outcome.status == "failed"]
+
+    def raise_on_failure(self) -> "CampaignResult":
+        failures = self.failures()
+        if failures:
+            details = "; ".join(f"{outcome.spec.name}: {outcome.error}"
+                                for outcome in failures)
+            raise RuntimeError(
+                f"campaign '{self.name}' had {len(failures)} failed "
+                f"scenario(s): {details}")
+        return self
+
+
+# --------------------------------------------------------------------------- #
+# Single-scenario execution
+# --------------------------------------------------------------------------- #
+def build_trainer(spec: ScenarioSpec):
+    """Construct the trainer/runtime a scenario describes (not yet run)."""
+    from repro.experiments.common import (  # lazy: avoids an import cycle
+        build_workload,
+        make_model_factory,
+        make_schedule,
+    )
+
+    scale = spec.to_scale()
+    train, test, in_features, num_classes = build_workload(scale)
+    model_fn = make_model_factory(scale, in_features, num_classes)
+    schedule = make_schedule(scale)
+    worker_attack = spec.worker_attack.build() if spec.worker_attack else None
+    server_attack = spec.server_attack.build() if spec.server_attack else None
+
+    if spec.trainer == "guanyu":
+        return GuanYuTrainer(
+            config=spec.cluster_config(), model_fn=model_fn,
+            train_dataset=train, test_dataset=test,
+            worker_attack=worker_attack,
+            num_attacking_workers=spec.resolved_num_attacking_workers(),
+            server_attack=server_attack,
+            num_attacking_servers=spec.resolved_num_attacking_servers(),
+            gradient_rule_name=spec.gradient_rule,
+            model_rule_name=spec.model_rule,
+            batch_size=spec.batch_size, schedule=schedule,
+            delay_model=spec.build_delay_model(),
+            cost_model=spec.build_cost_model(),
+            sharding=spec.sharding, seed=spec.seed,
+            cost_num_parameters=spec.billed_parameters, label=spec.name)
+    if spec.trainer == "vanilla":
+        return VanillaTrainer(
+            model_fn=model_fn, train_dataset=train, test_dataset=test,
+            num_workers=spec.num_workers,
+            worker_attack=worker_attack,
+            num_attacking_workers=spec.resolved_num_attacking_workers(),
+            external_communication=spec.external_communication,
+            gradient_rule=get_rule(spec.gradient_rule,
+                                   num_byzantine=spec.declared_byzantine_workers),
+            batch_size=spec.batch_size, schedule=schedule,
+            delay_model=spec.build_delay_model(),
+            cost_model=spec.build_cost_model(),
+            sharding=spec.sharding, seed=spec.seed,
+            cost_num_parameters=spec.billed_parameters, label=spec.name)
+    if spec.trainer == "single_server_krum":
+        return SingleServerKrumTrainer(
+            model_fn=model_fn, train_dataset=train, test_dataset=test,
+            num_byzantine_workers=spec.declared_byzantine_workers,
+            num_workers=spec.num_workers,
+            worker_attack=worker_attack,
+            num_attacking_workers=spec.resolved_num_attacking_workers(),
+            batch_size=spec.batch_size, schedule=schedule,
+            delay_model=spec.build_delay_model(),
+            cost_model=spec.build_cost_model(),
+            sharding=spec.sharding, seed=spec.seed,
+            cost_num_parameters=spec.billed_parameters, label=spec.name)
+    if spec.trainer == "guanyu_threaded":
+        return ThreadedClusterRuntime(
+            config=spec.cluster_config(), model_fn=model_fn,
+            train_dataset=train, batch_size=spec.batch_size, schedule=schedule,
+            worker_attack=worker_attack,
+            num_attacking_workers=spec.resolved_num_attacking_workers(),
+            server_attack=server_attack,
+            num_attacking_servers=spec.resolved_num_attacking_servers(),
+            gradient_rule_name=spec.gradient_rule,
+            model_rule_name=spec.model_rule,
+            jitter=spec.jitter, quorum_timeout=spec.quorum_timeout,
+            seed=spec.seed)
+    raise ValueError(f"unknown trainer '{spec.trainer}'")
+
+
+def execute_scenario(spec: ScenarioSpec) -> TrainingHistory:
+    """Validate, build and run one scenario; returns its history."""
+    spec.validate()
+    trainer = build_trainer(spec)
+    if isinstance(trainer, ThreadedClusterRuntime):
+        history = trainer.run(spec.num_steps)
+        history.label = spec.name
+        return history
+    return trainer.run(spec.num_steps, eval_every=spec.eval_every,
+                       max_eval_samples=spec.max_eval_samples)
+
+
+def _run_payload(payload: Dict) -> Dict:
+    """Pool-friendly wrapper: dict spec in, dict outcome out, never raises."""
+    started = time.perf_counter()
+    try:
+        history = execute_scenario(ScenarioSpec.from_dict(payload))
+        return {"status": "ran", "history": history.to_dict(), "error": None,
+                "traceback": None,
+                "duration": time.perf_counter() - started}
+    except Exception as exc:  # noqa: BLE001 - per-scenario failure isolation
+        return {"status": "failed", "history": None,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "duration": time.perf_counter() - started}
+
+
+def _run_indexed_payload(item: tuple) -> tuple:
+    """Pool wrapper tagging each result with its pending-list index."""
+    index, payload = item
+    return index, _run_payload(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Campaign execution
+# --------------------------------------------------------------------------- #
+def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
+                 store: Optional[ResultStore] = None,
+                 processes: Optional[int] = None,
+                 progress: Optional[ProgressCallback] = None,
+                 on_invalid: str = "raise",
+                 name: Optional[str] = None) -> CampaignResult:
+    """Execute a campaign (or a plain scenario list).
+
+    Parameters
+    ----------
+    campaign:
+        A :class:`CampaignSpec` (expanded here) or an iterable of
+        already-expanded :class:`ScenarioSpec`.
+    store:
+        Optional :class:`ResultStore`.  Scenarios whose spec hash is already
+        present are returned as ``cached`` without re-training; freshly run
+        scenarios are persisted, so re-running an interrupted campaign
+        resumes where it stopped.
+    processes:
+        ``None``/``0``/``1`` runs scenarios serially in-process; ``> 1``
+        fans the pending scenarios out over a ``multiprocessing`` pool of
+        (at most) that many workers.
+    progress:
+        Optional callback invoked once per completed scenario with
+        ``(outcome, completed_count, total_count)``.
+    on_invalid:
+        Forwarded to :meth:`CampaignSpec.expand` (``"raise"`` or ``"skip"``).
+    name:
+        Result name for plain scenario lists (a :class:`CampaignSpec` brings
+        its own).
+    """
+    if isinstance(campaign, CampaignSpec):
+        name = campaign.name
+        scenarios = campaign.expand(on_invalid=on_invalid)
+    else:
+        name = name if name is not None else "campaign"
+        scenarios = [scenario.validate() for scenario in campaign]
+        ensure_unique_names(scenarios)
+
+    total = len(scenarios)
+    completed = 0
+    outcomes: Dict[str, ScenarioOutcome] = {}
+
+    def finish(outcome: ScenarioOutcome) -> None:
+        nonlocal completed
+        outcomes[outcome.spec.name] = outcome
+        completed += 1
+        if progress is not None:
+            progress(outcome, completed, total)
+
+    # Scenarios are deduplicated by content address: cells that differ only
+    # in name train once and the others are served as cache hits.
+    pending_specs: Dict[str, List[ScenarioSpec]] = {}
+    for spec in scenarios:
+        key = spec.spec_hash()
+        if store is not None and store.contains(key):
+            stored = store.get(key)
+            # The hash excludes the name, so the cache may have been filled
+            # under a different label — relabel for this campaign's view.
+            stored.history.label = spec.name
+            finish(ScenarioOutcome(spec=spec, status="cached",
+                                   history=stored.history, store_key=key,
+                                   duration_seconds=0.0))
+        else:
+            pending_specs.setdefault(key, []).append(spec)
+    pending = [(specs[0], key) for key, specs in pending_specs.items()]
+
+    def finish_payload(spec: ScenarioSpec, key: str, payload: Dict) -> None:
+        history = (TrainingHistory.from_dict(payload["history"])
+                   if payload["history"] is not None else None)
+        outcome = ScenarioOutcome(spec=spec, status=payload["status"],
+                                  history=history, error=payload["error"],
+                                  traceback=payload.get("traceback"),
+                                  duration_seconds=payload["duration"])
+        if store is not None and outcome.status == "ran":
+            outcome.store_key = store.put(
+                spec, history, duration_seconds=outcome.duration_seconds)
+        finish(outcome)
+        for twin in pending_specs[key][1:]:
+            twin_history = None
+            if payload["history"] is not None:
+                twin_history = TrainingHistory.from_dict(payload["history"])
+                twin_history.label = twin.name
+            status = "cached" if payload["status"] == "ran" else payload["status"]
+            finish(ScenarioOutcome(spec=twin, status=status,
+                                   history=twin_history,
+                                   error=payload["error"],
+                                   traceback=payload.get("traceback"),
+                                   store_key=outcome.store_key))
+
+    if processes and processes > 1 and len(pending) > 1:
+        pool_size = min(processes, len(pending))
+        items = [(index, spec.to_dict())
+                 for index, (spec, _) in enumerate(pending)]
+        with multiprocessing.get_context().Pool(pool_size) as pool:
+            # Unordered: each result is persisted/reported the moment it
+            # completes, so an interruption loses at most the in-flight
+            # scenarios — not everything queued behind a slow one.
+            for index, payload in pool.imap_unordered(_run_indexed_payload,
+                                                      items):
+                spec, key = pending[index]
+                finish_payload(spec, key, payload)
+    else:
+        for spec, key in pending:
+            finish_payload(spec, key, _run_payload(spec.to_dict()))
+
+    return CampaignResult(name=name,
+                          outcomes=[outcomes[spec.name] for spec in scenarios])

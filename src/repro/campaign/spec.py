@@ -1,0 +1,632 @@
+"""Declarative scenario and campaign specifications.
+
+A :class:`ScenarioSpec` fully describes one training run — trainer kind,
+aggregation rules, cluster shape, attacks, delay and cost models, workload
+and seed — as plain JSON-serialisable data.  Its canonical-JSON SHA-256
+(:meth:`ScenarioSpec.spec_hash`) is the content address under which the
+:class:`repro.campaign.store.ResultStore` caches results.
+
+A :class:`CampaignSpec` describes *many* runs: either an explicit scenario
+list, or a base scenario plus grid/zip axes that are expanded into the
+cartesian product (grid) or element-wise bundles (zip) of their values.
+
+NOTE: this module must not import :mod:`repro.experiments` at module level —
+the experiment harnesses are themselves campaign definitions, so the imports
+would be circular.  ``ExperimentScale`` conversions import lazily.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.aggregation import available_rules, get_rule
+from repro.byzantine.base import ServerAttack, WorkerAttack
+from repro.byzantine.registry import available_attacks, get_attack
+from repro.core.config import ClusterConfig
+from repro.network.delays import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LogNormalDelay,
+    UniformDelay,
+)
+from repro.runtime.cost import GRID5000_LIKE, INSTANT, CostModel
+
+_TRAINERS = ("guanyu", "vanilla", "single_server_krum", "guanyu_threaded")
+_DELAY_MODELS = {
+    "constant": ConstantDelay,
+    "uniform": UniformDelay,
+    "exponential": ExponentialDelay,
+    "lognormal": LogNormalDelay,
+}
+_COST_MODELS = {"grid5000": GRID5000_LIKE, "instant": INSTANT}
+_DATASETS = ("blobs", "images")
+_MODELS = ("softmax", "mlp", "small_cnn", "paper_cnn")
+
+
+def available_trainers() -> List[str]:
+    """Trainer kinds a scenario can request."""
+    return list(_TRAINERS)
+
+
+def available_delay_models() -> List[str]:
+    """Delay-model names a scenario can request."""
+    return sorted(_DELAY_MODELS)
+
+
+def available_cost_models() -> List[str]:
+    """Cost-model names a scenario can request."""
+    return sorted(_COST_MODELS)
+
+
+# --------------------------------------------------------------------------- #
+# Attack specification
+# --------------------------------------------------------------------------- #
+@dataclass
+class AttackSpec:
+    """A registered attack by name plus its constructor keyword arguments."""
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Union[WorkerAttack, ServerAttack]:
+        """Instantiate the attack from the Byzantine registry.
+
+        Raises ``ValueError`` (not ``TypeError``) on bad keyword arguments so
+        spec validation, ``expand(on_invalid="skip")`` and the CLI error
+        path all treat a misspelled kwarg like any other invalid spec.
+        """
+        try:
+            return get_attack(self.name, **self.kwargs)
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid kwargs for attack '{self.name}': {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AttackSpec":
+        return cls(name=payload["name"], kwargs=dict(payload.get("kwargs", {})))
+
+    @classmethod
+    def from_attack(cls, attack: Union[WorkerAttack, ServerAttack]) -> "AttackSpec":
+        """Reconstruct a spec from a live attack instance.
+
+        Attack classes store their constructor arguments as same-named public
+        attributes, so the public scalar attributes round-trip through the
+        registry (private/derived state is dropped).  Raises ``ValueError``
+        for attacks that cannot be described declaratively — unregistered
+        classes, or instances carrying non-scalar public state.
+        """
+        if attack.name not in available_attacks():
+            raise ValueError(
+                f"attack '{attack.name}' is not in the Byzantine registry; "
+                f"campaign specs can only describe registered attacks")
+
+        def public_scalars(obj) -> Dict[str, Any]:
+            return {key: value for key, value in vars(obj).items()
+                    if not key.startswith("_")
+                    and (value is None or isinstance(value, (bool, int, float, str)))}
+
+        dropped = {key for key in vars(attack)
+                   if not key.startswith("_") and key not in public_scalars(attack)}
+        if dropped:
+            raise ValueError(
+                f"attack '{attack.name}' carries non-scalar attributes "
+                f"{sorted(dropped)} that cannot round-trip through a spec")
+        kwargs = {key: value for key, value in public_scalars(attack).items()
+                  if value is not None}
+        spec = cls(name=attack.name, kwargs=kwargs)
+        if public_scalars(spec.build()) != public_scalars(attack):
+            raise ValueError(
+                f"attack '{attack.name}' does not round-trip through its "
+                f"constructor keyword arguments")
+        return spec
+
+
+def _coerce_attack(value: Union[None, str, Dict, AttackSpec]) -> Optional[AttackSpec]:
+    if value is None or isinstance(value, AttackSpec):
+        return value
+    if isinstance(value, str):
+        return AttackSpec(name=value)
+    if isinstance(value, dict):
+        return AttackSpec.from_dict(value)
+    raise TypeError(f"cannot interpret {value!r} as an attack spec")
+
+
+# --------------------------------------------------------------------------- #
+# Scenario specification
+# --------------------------------------------------------------------------- #
+@dataclass
+class ScenarioSpec:
+    """Complete, JSON-serialisable description of one training run.
+
+    The defaults mirror ``ExperimentScale.small()`` so that a bare spec is
+    runnable in seconds; :meth:`from_scale` imports a legacy scale object.
+    """
+
+    name: str = "scenario"
+    #: ``guanyu`` | ``vanilla`` | ``single_server_krum`` | ``guanyu_threaded``
+    trainer: str = "guanyu"
+
+    # -- cluster shape (paper notation: n̄, n, f̄, f, q̄, q) ----------------- #
+    num_workers: int = 9
+    num_servers: int = 6
+    declared_byzantine_workers: int = 2
+    declared_byzantine_servers: int = 1
+    model_quorum: Optional[int] = None
+    gradient_quorum: Optional[int] = None
+
+    # -- aggregation rules ------------------------------------------------- #
+    gradient_rule: str = "multi_krum"
+    model_rule: str = "median"
+
+    # -- attacks ----------------------------------------------------------- #
+    worker_attack: Optional[AttackSpec] = None
+    #: ``None`` means "as many as declared" when a worker attack is present
+    num_attacking_workers: Optional[int] = None
+    server_attack: Optional[AttackSpec] = None
+    num_attacking_servers: Optional[int] = None
+
+    # -- network delay / computation cost ---------------------------------- #
+    delay_model: str = "uniform"
+    delay_kwargs: Dict[str, float] = field(default_factory=dict)
+    cost_model: str = "grid5000"
+    #: threaded runtime only: delivery jitter bound and per-quorum deadline
+    jitter: float = 0.0
+    quorum_timeout: float = 60.0
+
+    # -- workload ----------------------------------------------------------- #
+    dataset: str = "blobs"
+    dataset_size: int = 800
+    image_size: int = 8
+    model: str = "softmax"
+    batch_size: int = 16
+    learning_rate: float = 0.05
+    sharding: str = "iid"
+    #: vanilla trainer only (the paper's "vanilla GuanYu" baseline)
+    external_communication: bool = False
+
+    # -- schedule / duration ------------------------------------------------ #
+    num_steps: int = 60
+    eval_every: int = 10
+    max_eval_samples: Optional[int] = 256
+    billed_parameters: Optional[int] = 1_756_426
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        self.worker_attack = _coerce_attack(self.worker_attack)
+        self.server_attack = _coerce_attack(self.server_attack)
+
+    # ------------------------------------------------------------------ #
+    # Derived values
+    # ------------------------------------------------------------------ #
+    def resolved_num_attacking_workers(self) -> int:
+        if self.worker_attack is None:
+            return 0
+        if self.num_attacking_workers is not None:
+            return self.num_attacking_workers
+        return self.declared_byzantine_workers
+
+    def resolved_num_attacking_servers(self) -> int:
+        if self.server_attack is None:
+            return 0
+        if self.num_attacking_servers is not None:
+            return self.num_attacking_servers
+        return self.declared_byzantine_servers
+
+    def cluster_config(self) -> ClusterConfig:
+        """The validated ``(n, f, n̄, f̄, q, q̄)`` arithmetic of this scenario."""
+        return ClusterConfig(
+            num_servers=self.num_servers,
+            num_workers=self.num_workers,
+            num_byzantine_servers=self.declared_byzantine_servers,
+            num_byzantine_workers=self.declared_byzantine_workers,
+            model_quorum=self.model_quorum,
+            gradient_quorum=self.gradient_quorum,
+        )
+
+    def build_delay_model(self) -> DelayModel:
+        try:
+            delay_class = _DELAY_MODELS[self.delay_model]
+        except KeyError:
+            raise ValueError(
+                f"unknown delay model '{self.delay_model}'; "
+                f"available: {available_delay_models()}"
+            ) from None
+        return delay_class(**self.delay_kwargs)
+
+    def build_cost_model(self) -> CostModel:
+        try:
+            return _COST_MODELS[self.cost_model]
+        except KeyError:
+            raise ValueError(
+                f"unknown cost model '{self.cost_model}'; "
+                f"available: {available_cost_models()}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ScenarioSpec":
+        """Check admissibility; raises ``ValueError`` on an invalid spec."""
+        if self.trainer not in _TRAINERS:
+            raise ValueError(f"unknown trainer '{self.trainer}'; "
+                             f"available: {available_trainers()}")
+        for rule in (self.gradient_rule, self.model_rule):
+            if rule not in available_rules():
+                raise ValueError(f"unknown aggregation rule '{rule}'; "
+                                 f"available: {available_rules()}")
+        if self.dataset not in _DATASETS:
+            raise ValueError(f"unknown dataset '{self.dataset}'")
+        if self.model not in _MODELS:
+            raise ValueError(f"unknown model '{self.model}'")
+        if self.num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        for count in (self.num_attacking_workers, self.num_attacking_servers):
+            if count is not None and count < 0:
+                raise ValueError("attacker counts must be non-negative")
+        if self.num_attacking_workers and self.worker_attack is None:
+            raise ValueError("num_attacking_workers > 0 requires a worker_attack")
+        if self.num_attacking_servers and self.server_attack is None:
+            raise ValueError("num_attacking_servers > 0 requires a server_attack")
+
+        worker_attack = server_attack = None
+        if self.worker_attack is not None:
+            if self.worker_attack.name not in available_attacks():
+                raise ValueError(f"unknown attack '{self.worker_attack.name}'; "
+                                 f"available: {available_attacks()}")
+            worker_attack = self.worker_attack.build()
+            if not isinstance(worker_attack, WorkerAttack):
+                raise ValueError(
+                    f"'{self.worker_attack.name}' is a server attack, "
+                    f"not a worker attack")
+        if self.server_attack is not None:
+            if self.server_attack.name not in available_attacks():
+                raise ValueError(f"unknown attack '{self.server_attack.name}'; "
+                                 f"available: {available_attacks()}")
+            server_attack = self.server_attack.build()
+            if not isinstance(server_attack, ServerAttack):
+                raise ValueError(
+                    f"'{self.server_attack.name}' is a worker attack, "
+                    f"not a server attack")
+
+        if self.external_communication and self.trainer != "vanilla":
+            raise ValueError("external_communication models the 'vanilla "
+                             "GuanYu' baseline and applies only to trainer "
+                             "'vanilla'")
+        if self.trainer == "guanyu_threaded":
+            # The threaded runtime runs on the real wall clock: delay/cost
+            # models do not apply, and silently ignoring them would let two
+            # identical runs hash to different store keys.
+            if (self.delay_model != "uniform" or self.delay_kwargs
+                    or self.cost_model != "grid5000"):
+                raise ValueError(
+                    "trainer 'guanyu_threaded' runs on the real clock and "
+                    "ignores delay/cost models; leave them at their defaults "
+                    "(its knobs are 'jitter' and 'quorum_timeout')")
+        elif self.jitter != 0.0 or self.quorum_timeout != 60.0:
+            raise ValueError("'jitter' and 'quorum_timeout' apply only to "
+                             "trainer 'guanyu_threaded'; simulated trainers "
+                             "take a delay_model instead")
+
+        if self.trainer in ("guanyu", "guanyu_threaded"):
+            config = self.cluster_config()  # raises on n < 3f + 3 etc.
+            if self.resolved_num_attacking_workers() > config.num_byzantine_workers:
+                raise ValueError("more attacking workers than declared "
+                                 "Byzantine workers")
+            if self.resolved_num_attacking_servers() > config.num_byzantine_servers:
+                raise ValueError("more attacking servers than declared "
+                                 "Byzantine servers")
+            gradient_rule = get_rule(self.gradient_rule,
+                                     num_byzantine=config.num_byzantine_workers)
+            if gradient_rule.minimum_inputs() > config.gradient_quorum:
+                raise ValueError(
+                    f"gradient rule '{self.gradient_rule}' with "
+                    f"f̄={config.num_byzantine_workers} needs at least "
+                    f"{gradient_rule.minimum_inputs()} inputs but the gradient "
+                    f"quorum is {config.gradient_quorum}")
+            model_rule = get_rule(self.model_rule,
+                                  num_byzantine=config.num_byzantine_servers)
+            if model_rule.minimum_inputs() > config.model_quorum:
+                raise ValueError(
+                    f"model rule '{self.model_rule}' with "
+                    f"f={config.num_byzantine_servers} needs at least "
+                    f"{model_rule.minimum_inputs()} inputs but the model "
+                    f"quorum is {config.model_quorum}")
+        else:  # single trusted parameter server
+            if self.num_workers <= 0:
+                raise ValueError("num_workers must be positive")
+            if self.resolved_num_attacking_workers() > self.num_workers:
+                raise ValueError("cannot have more attacking workers than workers")
+            # Knobs the single-server trainers ignore must stay at their
+            # defaults — otherwise the store would record (and hash) a rule
+            # the run never used.
+            if self.trainer == "single_server_krum" \
+                    and self.gradient_rule != "multi_krum":
+                raise ValueError("trainer 'single_server_krum' always "
+                                 "aggregates with multi_krum; use trainer "
+                                 "'vanilla' to choose a gradient rule")
+            if self.model_rule != "median":
+                raise ValueError(f"trainer '{self.trainer}' has a single "
+                                 f"parameter server and never aggregates "
+                                 f"models; leave model_rule at 'median'")
+            gradient_rule = get_rule(self.gradient_rule,
+                                     num_byzantine=self.declared_byzantine_workers)
+            if gradient_rule.minimum_inputs() > self.num_workers:
+                raise ValueError(
+                    f"gradient rule '{self.gradient_rule}' with "
+                    f"f̄={self.declared_byzantine_workers} needs at least "
+                    f"{gradient_rule.minimum_inputs()} inputs but only "
+                    f"{self.num_workers} workers respond")
+            if self.server_attack is not None:
+                raise ValueError(f"trainer '{self.trainer}' assumes a trusted "
+                                 f"parameter server; remove the server attack")
+            if self.trainer == "single_server_krum":
+                minimum = 2 * self.declared_byzantine_workers + 3
+                if self.num_workers < minimum:
+                    raise ValueError(
+                        f"Multi-Krum with f={self.declared_byzantine_workers} "
+                        f"needs at least {minimum} workers")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialisation and hashing
+    # ------------------------------------------------------------------ #
+    def replace(self, **overrides) -> "ScenarioSpec":
+        """A copy with ``overrides`` applied (attack fields are coerced)."""
+        known = {f.name for f in dataclasses.fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)} "
+                             f"(check grid axis names)")
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["worker_attack"] = (self.worker_attack.to_dict()
+                                    if self.worker_attack else None)
+        payload["server_attack"] = (self.server_attack.to_dict()
+                                    if self.server_attack else None)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Content address: SHA-256 over the canonical JSON of the spec.
+
+        The ``name`` is a pure label and is excluded, so equal
+        configurations share one cache entry regardless of how a campaign
+        or harness chose to name them.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # ExperimentScale interoperability (lazy imports: see module docstring)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_scale(cls, scale, **overrides) -> "ScenarioSpec":
+        """Build a spec from a legacy :class:`ExperimentScale`."""
+        base = dict(
+            num_workers=scale.num_workers,
+            num_servers=scale.num_servers,
+            declared_byzantine_workers=scale.declared_byzantine_workers,
+            declared_byzantine_servers=scale.declared_byzantine_servers,
+            num_steps=scale.num_steps,
+            eval_every=scale.eval_every,
+            batch_size=scale.batch_size,
+            dataset=scale.dataset,
+            model=scale.model,
+            learning_rate=scale.learning_rate,
+            dataset_size=scale.dataset_size,
+            image_size=scale.image_size,
+            seed=scale.seed,
+            max_eval_samples=scale.max_eval_samples,
+            billed_parameters=scale.billed_parameters,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    def to_scale(self):
+        """The :class:`ExperimentScale` view used to build the workload."""
+        from repro.experiments.common import ExperimentScale
+
+        return ExperimentScale(
+            num_workers=self.num_workers,
+            num_servers=self.num_servers,
+            declared_byzantine_workers=self.declared_byzantine_workers,
+            declared_byzantine_servers=self.declared_byzantine_servers,
+            num_steps=self.num_steps,
+            eval_every=self.eval_every,
+            batch_size=self.batch_size,
+            dataset=self.dataset,
+            model=self.model,
+            learning_rate=self.learning_rate,
+            dataset_size=self.dataset_size,
+            image_size=self.image_size,
+            seed=self.seed,
+            max_eval_samples=self.max_eval_samples,
+            billed_parameters=self.billed_parameters,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Campaign specification
+# --------------------------------------------------------------------------- #
+def ensure_unique_names(scenarios: Sequence["ScenarioSpec"]) -> None:
+    """Raise if two scenarios share a name (names key campaign results)."""
+    counts = collections.Counter(scenario.name for scenario in scenarios)
+    duplicates = sorted(name for name, count in counts.items() if count > 1)
+    if duplicates:
+        raise ValueError(f"duplicate scenario names: {duplicates}")
+
+
+def _axis_entries(axis: str, values: Sequence) -> List[tuple]:
+    """Normalise one grid axis into ``(label, patch)`` entries.
+
+    Scalar values patch the field named by the axis (label ``field=value``);
+    dict values are multi-field patches and the axis name is just a label
+    (each dict may carry a ``"_name"`` key used for scenario naming).
+    """
+    if not isinstance(values, (list, tuple)):
+        raise ValueError(f"grid axis '{axis}' must map to a list of values, "
+                         f"got {type(values).__name__}")
+    entries = []
+    for index, value in enumerate(values):
+        if isinstance(value, dict):
+            patch = {key: val for key, val in value.items() if key != "_name"}
+            label = str(value.get("_name", f"{axis}{index}"))
+        else:
+            patch = {axis: value}
+            label = f"{axis}={value}"
+        entries.append((label, patch))
+    if not entries:
+        raise ValueError(f"grid axis '{axis}' has no values")
+    return entries
+
+
+@dataclass
+class CampaignSpec:
+    """A named family of scenarios: explicit list, or base + grid/zip axes.
+
+    ``grid`` axes are combined as a cartesian product; ``zip_axes`` lists
+    (JSON key ``"zip"``) must share one length and are bundled element-wise
+    into a single extra axis — use them for coupled parameters such as
+    ``num_workers`` and the admissible ``declared_byzantine_workers``.
+    """
+
+    name: str = "campaign"
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    grid: Dict[str, List] = field(default_factory=dict)
+    zip_axes: Dict[str, List] = field(default_factory=dict)
+    scenarios: List[ScenarioSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.scenarios and (self.grid or self.zip_axes):
+            raise ValueError("give either an explicit scenario list or "
+                             "grid/zip axes, not both")
+        self.scenarios = [scenario if isinstance(scenario, ScenarioSpec)
+                          else ScenarioSpec.from_dict(scenario)
+                          for scenario in self.scenarios]
+        if isinstance(self.base, dict):
+            self.base = ScenarioSpec.from_dict(self.base)
+
+    # ------------------------------------------------------------------ #
+    def _zip_axis(self) -> Optional[List[tuple]]:
+        if not self.zip_axes:
+            return None
+        lengths = {len(values) for values in self.zip_axes.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"zip axes must share one length, got "
+                             f"{sorted(lengths)}")
+        per_axis = {axis: _axis_entries(axis, values)
+                    for axis, values in self.zip_axes.items()}
+        bundled = []
+        for index in range(lengths.pop()):
+            labels, patch = [], {}
+            for axis in self.zip_axes:
+                label, axis_patch = per_axis[axis][index]
+                labels.append(label)
+                patch.update(axis_patch)
+            bundled.append(("-".join(labels), patch))
+        return bundled
+
+    def expand(self, on_invalid: str = "raise") -> List[ScenarioSpec]:
+        """Expand to a validated scenario list.
+
+        ``on_invalid="skip"`` silently drops inadmissible grid cells (e.g. a
+        cluster size that cannot host the declared Byzantine count);
+        ``"raise"`` propagates the validation error.
+        """
+        if on_invalid not in ("raise", "skip"):
+            raise ValueError("on_invalid must be 'raise' or 'skip'")
+        if self.scenarios:
+            expanded = list(self.scenarios)
+        else:
+            axes = [_axis_entries(axis, values)
+                    for axis, values in self.grid.items()]
+            zipped = self._zip_axis()
+            if zipped is not None:
+                axes.append(zipped)
+            expanded = []
+            if not axes:
+                expanded.append(self.base.replace())
+            else:
+                for combo in itertools.product(*axes):
+                    patch: Dict[str, Any] = {}
+                    for _, axis_patch in combo:
+                        patch.update(axis_patch)
+                    patch.setdefault("name", "-".join(label for label, _ in combo))
+                    expanded.append(self.base.replace(**patch))
+
+        valid = []
+        for scenario in expanded:
+            try:
+                valid.append(scenario.validate())
+            except ValueError:
+                if on_invalid == "raise":
+                    raise
+        ensure_unique_names(valid)
+        return valid
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base.to_dict(),
+            "grid": self.grid,
+            "zip": self.zip_axes,
+            "scenarios": [scenario.to_dict() for scenario in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CampaignSpec":
+        known = {"name", "base", "grid", "zip", "scenarios"}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown campaign fields: {sorted(unknown)}")
+        return cls(
+            name=payload.get("name", "campaign"),
+            base=ScenarioSpec.from_dict(payload.get("base", {})),
+            grid=dict(payload.get("grid", {})),
+            zip_axes=dict(payload.get("zip", {})),
+            scenarios=[ScenarioSpec.from_dict(entry)
+                       for entry in payload.get("scenarios", [])],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_json_file(cls, path) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

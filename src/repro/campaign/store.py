@@ -1,0 +1,187 @@
+"""Content-addressed on-disk store for campaign results.
+
+Layout (all JSON, human-greppable)::
+
+    <root>/
+      ab/
+        ab3f...e1.json     # key = ScenarioSpec.spec_hash()
+      c0/
+        c04d...92.json
+
+Each entry holds the full scenario spec, the serialised
+:class:`~repro.metrics.tracker.TrainingHistory` and run metadata, so a store
+is self-describing: results can be compared across campaigns (and machines)
+without the producing code.  Writes go through a temp file + ``os.replace``
+so interrupted campaigns never leave half-written entries — which is what
+makes resume safe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.campaign.spec import ScenarioSpec
+from repro.metrics.tracker import TrainingHistory
+
+STORE_VERSION = 1
+
+
+@dataclass
+class StoredResult:
+    """One cached scenario result."""
+
+    key: str
+    spec: ScenarioSpec
+    history: TrainingHistory
+    meta: Dict
+
+    def summary_row(self) -> Dict[str, object]:
+        """Row for :func:`repro.plotting.format_table` comparisons."""
+        spec = self.spec
+        return {
+            "scenario": spec.name,
+            "trainer": spec.trainer,
+            "gradient_rule": spec.gradient_rule,
+            "worker_attack": spec.worker_attack.name if spec.worker_attack else None,
+            "server_attack": spec.server_attack.name if spec.server_attack else None,
+            "workers": spec.num_workers,
+            "seed": spec.seed,
+            "final_accuracy": self.history.final_accuracy(),
+            "sim_time_s": self.history.total_time(),
+            "key": self.key[:10],
+        }
+
+
+class ResultStore:
+    """Content-addressed result cache keyed by :meth:`ScenarioSpec.spec_hash`."""
+
+    #: temp files older than this are orphans from a killed writer
+    STALE_TEMP_SECONDS = 3600.0
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_temp_files()
+
+    def _sweep_stale_temp_files(self) -> None:
+        """Remove temp litter left by killed writers.
+
+        Only files comfortably older than any plausible in-flight write are
+        touched, so a concurrent campaign's active temp files are safe.
+        """
+        cutoff = time.time() - self.STALE_TEMP_SECONDS
+        for temp_path in self.root.glob("??/.*.tmp"):
+            try:
+                if temp_path.stat().st_mtime < cutoff:
+                    temp_path.unlink()
+            except OSError:
+                pass  # already promoted or removed by its writer
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def keys(self) -> List[str]:
+        return sorted(path.stem for path in self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # ------------------------------------------------------------------ #
+    def put(self, spec: ScenarioSpec, history: TrainingHistory, *,
+            status: str = "ran", duration_seconds: Optional[float] = None,
+            extra_meta: Optional[Dict] = None) -> str:
+        """Persist one result; returns its content-address key."""
+        key = spec.spec_hash()
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": STORE_VERSION,
+            "key": key,
+            "spec": spec.to_dict(),
+            "history": history.to_dict(),
+            "meta": {
+                "status": status,
+                "duration_seconds": duration_seconds,
+                "created_at": time.time(),
+                **(extra_meta or {}),
+            },
+        }
+        # Unique temp name per writer: concurrent campaigns sharing a store
+        # may race on the same key, and a shared ".tmp" would interleave.
+        descriptor, temp_name = tempfile.mkstemp(prefix=f".{path.name}.",
+                                                 suffix=".tmp",
+                                                 dir=path.parent)
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(temp_name, path)
+        return key
+
+    def get(self, key: str) -> StoredResult:
+        path = self.path_for(key)
+        if not path.is_file():
+            raise KeyError(f"no stored result for key '{key}'")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return StoredResult(
+            key=payload["key"],
+            spec=ScenarioSpec.from_dict(payload["spec"]),
+            history=TrainingHistory.from_dict(payload["history"]),
+            meta=payload.get("meta", {}),
+        )
+
+    def delete(self, key: str) -> bool:
+        path = self.path_for(key)
+        if path.is_file():
+            path.unlink()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Cross-campaign queries
+    # ------------------------------------------------------------------ #
+    def load_all(self) -> Iterator[StoredResult]:
+        for key in self.keys():
+            yield self.get(key)
+
+    def query(self, **filters) -> List[StoredResult]:
+        """Stored results whose spec fields match every filter.
+
+        Attack fields match on the attack *name*, so
+        ``query(worker_attack="sign_flip", gradient_rule="median")`` works.
+        """
+        known = {field.name for field in dataclasses.fields(ScenarioSpec)}
+        unknown = set(filters) - known
+        if unknown:
+            raise KeyError(f"unknown scenario fields: {sorted(unknown)}")
+        matches = []
+        for result in self.load_all():
+            spec_dict = result.spec.to_dict()
+            for key, wanted in filters.items():
+                value = spec_dict[key]
+                if isinstance(value, dict) and "name" in value:
+                    value = value["name"]
+                if value != wanted:
+                    break
+            else:
+                matches.append(result)
+        return matches
+
+    def summary_rows(self, results: Optional[List[StoredResult]] = None
+                     ) -> List[Dict[str, object]]:
+        """Comparison rows for every (or the given) stored result."""
+        results = list(self.load_all()) if results is None else results
+        return [result.summary_row() for result in results]

@@ -10,19 +10,41 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli attacks
     python -m repro.cli scaling --workers 6 9 12 18
     python -m repro.cli quorums
+    python -m repro.cli list
+    python -m repro.cli sweep --gars multi_krum median \
+        --attacks random_gradient sign_flip --seeds 0 1 --store results/
 
 Every subcommand prints the regenerated table/figure as text (and an ASCII
 chart where the paper has a figure); ``--json PATH`` additionally writes the
-raw histories/rows for downstream plotting.
+raw histories/rows for downstream plotting.  ``sweep`` runs a declarative
+scenario campaign (grid flags or a ``--spec`` JSON file) through the
+campaign engine — in parallel, with content-addressed result caching when
+``--store`` is given; ``list`` prints the registries sweep specs draw from.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Dict, Optional
 
+from repro.aggregation import available_rules, get_rule
+from repro.byzantine.base import WorkerAttack
+from repro.byzantine.registry import available_attacks, get_attack
+from repro.core.config import ClusterConfig
+from repro.campaign import (
+    CampaignSpec,
+    ResultStore,
+    ScenarioSpec,
+    available_cost_models,
+    available_delay_models,
+    available_trainers,
+    run_campaign,
+)
+from repro.experiments.common import workload_num_classes
 from repro.experiments import (
     ExperimentScale,
     overhead_report,
@@ -52,10 +74,12 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         scale.seed = args.seed
     # Keep the declared Byzantine counts admissible (n >= 3f + 3) after any
     # cluster-size overrides.
-    scale.declared_byzantine_workers = min(scale.declared_byzantine_workers,
-                                           (scale.num_workers - 3) // 3)
-    scale.declared_byzantine_servers = min(scale.declared_byzantine_servers,
-                                           (scale.num_servers - 3) // 3)
+    scale.declared_byzantine_workers = min(
+        scale.declared_byzantine_workers,
+        ClusterConfig.max_admissible_byzantine(scale.num_workers))
+    scale.declared_byzantine_servers = min(
+        scale.declared_byzantine_servers,
+        ClusterConfig.max_admissible_byzantine(scale.num_servers))
     scale.dataset_size = max(scale.dataset_size, 2400)
     return scale
 
@@ -164,6 +188,115 @@ def cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print the registries a sweep spec can draw from."""
+
+    def first_doc_line(obj) -> str:
+        return (obj.__doc__ or "").strip().splitlines()[0] if obj.__doc__ else ""
+
+    print("Aggregation rules (gradient_rule / model_rule):")
+    for name in available_rules():
+        rule = get_rule(name)
+        tag = "resilient" if rule.byzantine_resilient else "non-resilient"
+        print(f"  {name:<18} [{tag:<13}] {first_doc_line(type(rule))}")
+
+    print("\nAttacks (worker_attack / server_attack):")
+    for name in available_attacks():
+        attack = get_attack(name)
+        role = "worker" if isinstance(attack, WorkerAttack) else "server"
+        print(f"  {name:<18} [{role:<13}] {first_doc_line(type(attack))}")
+
+    print(f"\nTrainers:     {', '.join(available_trainers())}")
+    print(f"Delay models: {', '.join(available_delay_models())}")
+    print(f"Cost models:  {', '.join(available_cost_models())}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Sweep subcommand (campaign engine)
+# --------------------------------------------------------------------------- #
+def _attack_axis_entry(attack_name: str, base: ScenarioSpec) -> Dict:
+    """Grid-axis patch selecting one attack (worker or server side)."""
+    attack = get_attack(attack_name)  # raises on unknown names
+    kwargs: Dict[str, object] = {}
+    if attack_name == "label_flip":
+        # Flip within the sweep workload's label range, not the default 10.
+        kwargs["num_classes"] = workload_num_classes(base.dataset)
+    entry: Dict[str, object] = {"_name": attack_name,
+                                "worker_attack": None, "server_attack": None}
+    side = "worker_attack" if isinstance(attack, WorkerAttack) else "server_attack"
+    entry[side] = {"name": attack_name, "kwargs": kwargs}
+    return entry
+
+
+def _workers_axis_entry(num_workers: int, base: ScenarioSpec) -> Dict:
+    """Grid-axis patch for a cluster size, keeping ``n̄ ≥ 3f̄ + 3``."""
+    declared = min(base.declared_byzantine_workers,
+                   ClusterConfig.max_admissible_byzantine(num_workers))
+    return {"_name": f"workers={num_workers}", "num_workers": num_workers,
+            "declared_byzantine_workers": declared}
+
+
+def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
+    if args.spec:
+        return CampaignSpec.from_json_file(args.spec)
+    base = ScenarioSpec.from_scale(_scale_from_args(args), trainer=args.trainer,
+                                   name=args.name)
+    grid: Dict[str, list] = {}
+    if args.gars:
+        grid["gradient_rule"] = list(args.gars)
+    if args.attacks:
+        grid["attack"] = [_attack_axis_entry(name, base) for name in args.attacks]
+    if args.seeds:
+        grid["seed"] = list(args.seeds)
+    if args.workers_grid:
+        grid["cluster"] = [_workers_axis_entry(count, base)
+                           for count in args.workers_grid]
+    return CampaignSpec(name=args.name, base=base, grid=grid)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        campaign = _campaign_from_args(args)
+        campaign_name = campaign.name
+        scenarios = campaign.expand(
+            on_invalid="skip" if args.skip_invalid else "raise")
+        store = ResultStore(args.store) if args.store else None
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: invalid campaign: {exc}", file=sys.stderr)
+        return 2
+    processes = args.processes
+    if processes is None:
+        processes = max(1, min(os.cpu_count() or 1, 8))
+
+    def report_progress(outcome, completed, total) -> None:
+        line = f"[{completed}/{total}] {outcome.status:<6} {outcome.spec.name}"
+        if outcome.status == "ran":
+            line += f" ({outcome.duration_seconds:.2f}s)"
+        elif outcome.status == "failed":
+            line += f" — {outcome.error}"
+        print(line)
+
+    started = time.perf_counter()
+    result = run_campaign(scenarios, name=campaign_name, store=store,
+                          processes=processes, progress=report_progress)
+    elapsed = time.perf_counter() - started
+    counts = result.counts()
+    print(f"\ncampaign '{result.name}': {len(result.outcomes)} scenarios — "
+          f"ran {counts['ran']}, cached {counts['cached']}, "
+          f"failed {counts['failed']} in {elapsed:.1f}s "
+          f"({processes} process(es))")
+    if store is not None:
+        print(f"result store: {store.root} ({len(store)} entries)")
+    histories = result.histories()
+    if histories:
+        print("\n" + histories_summary_table(histories))
+    for outcome in result.failures():
+        print(f"FAILED {outcome.spec.name}: {outcome.error}")
+    _dump_json(args.json, _histories_payload(histories))
+    return 1 if result.failures() else 0
+
+
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
@@ -211,6 +344,33 @@ def build_parser() -> argparse.ArgumentParser:
     scaling = subparsers.add_parser("scaling", help="cluster scaling study")
     scaling.add_argument("--workers", type=int, nargs="+", default=[6, 9, 12, 18])
     scaling.set_defaults(func=cmd_scaling)
+
+    subparsers.add_parser(
+        "list", help="print the rule/attack registries sweep specs draw from") \
+        .set_defaults(func=cmd_list)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative scenario campaign (grid or JSON spec)")
+    sweep.add_argument("--spec", default=None,
+                       help="campaign spec JSON file (overrides grid flags)")
+    sweep.add_argument("--name", default="sweep", help="campaign name")
+    sweep.add_argument("--trainer", choices=tuple(available_trainers()),
+                       default="guanyu", help="trainer kind for grid sweeps")
+    sweep.add_argument("--gars", nargs="+", default=None, metavar="RULE",
+                       help="gradient aggregation rules to sweep over")
+    sweep.add_argument("--attacks", nargs="+", default=None, metavar="ATTACK",
+                       help="registered attacks to sweep over")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=None,
+                       help="seeds to sweep over")
+    sweep.add_argument("--workers-grid", type=int, nargs="+", default=None,
+                       metavar="N", help="cluster sizes to sweep over")
+    sweep.add_argument("--store", default=None,
+                       help="result-store directory (enables caching/resume)")
+    sweep.add_argument("--processes", type=int, default=None,
+                       help="pool size (default: min(cpu_count, 8); 1 = serial)")
+    sweep.add_argument("--skip-invalid", action="store_true",
+                       help="drop inadmissible grid cells instead of failing")
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

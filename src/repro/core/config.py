@@ -131,6 +131,11 @@ class ClusterConfig:
             )
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def max_admissible_byzantine(num_nodes: int) -> int:
+        """Largest ``f`` a pool of ``num_nodes`` admits (``n ≥ 3f + 3``)."""
+        return (num_nodes - 3) // 3
+
     def byzantine_fraction_servers(self) -> float:
         """Fraction of Byzantine parameter servers (must stay below 1/3)."""
         return self.num_byzantine_servers / self.num_servers

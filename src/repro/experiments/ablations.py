@@ -6,6 +6,13 @@
 * :func:`run_quorum_ablation` — effect of the quorum size ``q̄`` on
   throughput and per-update quality (the paper's §5.3 observation);
 * :func:`run_scaling_study` — throughput as cluster size grows.
+
+Every harness is a thin *campaign definition*: it builds a list of
+:class:`~repro.campaign.spec.ScenarioSpec` and hands them to
+:func:`~repro.campaign.engine.run_campaign`, so all of them inherit the
+engine's result caching (pass ``store=``) and parallel execution (pass
+``processes=``) for free.  Outputs are unchanged from the pre-campaign
+sequential loops for a fixed seed.
 """
 
 from __future__ import annotations
@@ -22,41 +29,29 @@ from repro.byzantine import (
     SignFlipAttack,
     SilentWorker,
 )
-from repro.core import ClusterConfig, GuanYuTrainer
-from repro.experiments.common import (
-    ExperimentScale,
-    build_workload,
-    make_model_factory,
-    make_schedule,
-)
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import AttackSpec, CampaignSpec, ScenarioSpec
+from repro.campaign.store import ResultStore
+from repro.core import ClusterConfig
+from repro.experiments.common import ExperimentScale, build_workload
 from repro.metrics import TrainingHistory, throughput_updates_per_second
 
 
-def _build_trainer(scale: ExperimentScale, *, gradient_rule: str = "multi_krum",
-                   model_rule: str = "median", gradient_quorum: Optional[int] = None,
-                   num_workers: Optional[int] = None,
-                   num_servers: Optional[int] = None,
-                   label: str = "ablation", **attack_kwargs) -> GuanYuTrainer:
-    train, test, in_features, num_classes = build_workload(scale)
-    model_fn = make_model_factory(scale, in_features, num_classes)
-    config = ClusterConfig(
-        num_servers=num_servers if num_servers is not None else scale.num_servers,
-        num_workers=num_workers if num_workers is not None else scale.num_workers,
-        num_byzantine_servers=scale.declared_byzantine_servers,
-        num_byzantine_workers=scale.declared_byzantine_workers,
-        gradient_quorum=gradient_quorum,
-    )
-    return GuanYuTrainer(config=config, model_fn=model_fn, train_dataset=train,
-                         test_dataset=test, batch_size=scale.batch_size,
-                         schedule=make_schedule(scale), seed=scale.seed,
-                         cost_num_parameters=scale.billed_parameters,
-                         gradient_rule_name=gradient_rule,
-                         model_rule_name=model_rule, label=label, **attack_kwargs)
+def _execute(name: str, scenarios: List[ScenarioSpec],
+             store: Optional[ResultStore],
+             processes: Optional[int]) -> Dict[str, TrainingHistory]:
+    """Run a harness campaign; failures propagate as they did pre-campaign."""
+    result = run_campaign(CampaignSpec(name=name, scenarios=scenarios),
+                          store=store, processes=processes)
+    result.raise_on_failure()
+    return result.histories()
 
 
 def run_gar_ablation(scale: Optional[ExperimentScale] = None,
                      rules: Sequence[str] = ("multi_krum", "median",
                                              "trimmed_mean", "mean"),
+                     store: Optional[ResultStore] = None,
+                     processes: Optional[int] = None,
                      ) -> Dict[str, TrainingHistory]:
     """Compare server-side gradient aggregation rules under a worker attack.
 
@@ -64,15 +59,16 @@ def run_gar_ablation(scale: Optional[ExperimentScale] = None,
     is the ablation backing the paper's choice of Multi-Krum for phase 2.
     """
     scale = scale if scale is not None else ExperimentScale.small()
-    histories = {}
-    for rule in rules:
-        trainer = _build_trainer(
-            scale, gradient_rule=rule, label=f"gar-{rule}",
-            worker_attack=RandomGradientAttack(scale=100.0),
+    base = ScenarioSpec.from_scale(scale)
+    scenarios = [
+        base.replace(
+            name=f"gar-{rule}", gradient_rule=rule,
+            worker_attack=AttackSpec("random_gradient", {"scale": 100.0}),
             num_attacking_workers=scale.declared_byzantine_workers)
-        histories[rule] = trainer.run(scale.num_steps, eval_every=scale.eval_every,
-                                      max_eval_samples=scale.max_eval_samples)
-    return histories
+        for rule in rules
+    ]
+    histories = _execute("gar-ablation", scenarios, store, processes)
+    return {rule: histories[f"gar-{rule}"] for rule in rules}
 
 
 def default_attack_suite(num_classes: int = 4) -> Dict[str, Dict]:
@@ -91,28 +87,49 @@ def default_attack_suite(num_classes: int = 4) -> Dict[str, Dict]:
 
 def run_attack_sweep(scale: Optional[ExperimentScale] = None,
                      attacks: Optional[Dict[str, Dict]] = None,
+                     store: Optional[ResultStore] = None,
+                     processes: Optional[int] = None,
                      ) -> Dict[str, TrainingHistory]:
-    """Run GuanYu against every attack in the suite (workers and servers)."""
+    """Run GuanYu against every attack in the suite (workers and servers).
+
+    Suite entries may carry extra scenario fields (``gradient_rule``,
+    ``num_workers``, ...) next to the attack instance.  Attack instances
+    must come from the Byzantine registry so the sweep can be expressed as
+    (serialisable, cacheable) campaign scenarios.
+    """
     scale = scale if scale is not None else ExperimentScale.small()
     _, _, _, num_classes = build_workload(scale)
     attacks = attacks if attacks is not None else default_attack_suite(num_classes)
-    histories = {}
-    for name, spec in attacks.items():
-        kwargs = dict(spec)
-        if "worker_attack" in kwargs:
-            kwargs.setdefault("num_attacking_workers",
-                              scale.declared_byzantine_workers)
-        if "server_attack" in kwargs:
-            kwargs.setdefault("num_attacking_servers",
-                              scale.declared_byzantine_servers)
-        trainer = _build_trainer(scale, label=f"attack-{name}", **kwargs)
-        histories[name] = trainer.run(scale.num_steps, eval_every=scale.eval_every,
-                                      max_eval_samples=scale.max_eval_samples)
-    return histories
+    base = ScenarioSpec.from_scale(scale)
+    scenarios = []
+    for name, suite_entry in attacks.items():
+        entry = dict(suite_entry)
+        overrides: Dict[str, object] = {"name": f"attack-{name}"}
+        if "worker_attack" in entry:
+            overrides["worker_attack"] = \
+                AttackSpec.from_attack(entry.pop("worker_attack"))
+            overrides["num_attacking_workers"] = entry.pop(
+                "num_attacking_workers", scale.declared_byzantine_workers)
+        if "server_attack" in entry:
+            overrides["server_attack"] = \
+                AttackSpec.from_attack(entry.pop("server_attack"))
+            overrides["num_attacking_servers"] = entry.pop(
+                "num_attacking_servers", scale.declared_byzantine_servers)
+        # Remaining suite keys are scenario fields (e.g. ``gradient_rule``);
+        # unknown keys raise instead of being silently dropped.
+        if "name" in entry:
+            raise ValueError("attack suite entries cannot override 'name'; "
+                             "the sweep derives it from the suite key")
+        overrides.update(entry)
+        scenarios.append(base.replace(**overrides))
+    histories = _execute("attack-sweep", scenarios, store, processes)
+    return {name: histories[f"attack-{name}"] for name in attacks}
 
 
 def run_quorum_ablation(scale: Optional[ExperimentScale] = None,
                         quorums: Optional[Sequence[int]] = None,
+                        store: Optional[ResultStore] = None,
+                        processes: Optional[int] = None,
                         ) -> Dict[int, TrainingHistory]:
     """Vary the gradient quorum ``q̄`` between its minimum and maximum.
 
@@ -127,34 +144,40 @@ def run_quorum_ablation(scale: Optional[ExperimentScale] = None,
                            num_byzantine_workers=scale.declared_byzantine_workers)
     if quorums is None:
         quorums = sorted({config.min_gradient_quorum, config.max_gradient_quorum})
-    histories = {}
-    for quorum in quorums:
-        trainer = _build_trainer(scale, gradient_quorum=quorum,
-                                 label=f"quorum-{quorum}")
-        histories[quorum] = trainer.run(scale.num_steps,
-                                        eval_every=scale.eval_every,
-                                        max_eval_samples=scale.max_eval_samples)
-    return histories
+    base = ScenarioSpec.from_scale(scale)
+    scenarios = [base.replace(name=f"quorum-{quorum}", gradient_quorum=quorum)
+                 for quorum in quorums]
+    histories = _execute("quorum-ablation", scenarios, store, processes)
+    return {quorum: histories[f"quorum-{quorum}"] for quorum in quorums}
 
 
 def run_scaling_study(scale: Optional[ExperimentScale] = None,
                       worker_counts: Sequence[int] = (6, 9, 12, 18),
-                      num_steps: int = 20) -> List[Dict[str, float]]:
+                      num_steps: int = 20,
+                      store: Optional[ResultStore] = None,
+                      processes: Optional[int] = None,
+                      ) -> List[Dict[str, float]]:
     """Throughput (updates per simulated second) as the worker pool grows."""
     scale = scale if scale is not None else ExperimentScale.small()
+    base = ScenarioSpec.from_scale(scale, num_steps=num_steps,
+                                   eval_every=num_steps)
+    declared_counts = {
+        num_workers: min(scale.declared_byzantine_workers,
+                         ClusterConfig.max_admissible_byzantine(num_workers))
+        for num_workers in worker_counts
+    }
+    scenarios = [
+        base.replace(name=f"scaling-{num_workers}", num_workers=num_workers,
+                     declared_byzantine_workers=declared_counts[num_workers])
+        for num_workers in worker_counts
+    ]
+    histories = _execute("scaling-study", scenarios, store, processes)
     rows = []
     for num_workers in worker_counts:
-        declared = min(scale.declared_byzantine_workers, (num_workers - 3) // 3)
-        local = ExperimentScale(**{**scale.__dict__,
-                                   "num_workers": num_workers,
-                                   "declared_byzantine_workers": declared,
-                                   "num_steps": num_steps})
-        trainer = _build_trainer(local, label=f"scaling-{num_workers}")
-        history = trainer.run(num_steps, eval_every=num_steps,
-                              max_eval_samples=scale.max_eval_samples)
+        history = histories[f"scaling-{num_workers}"]
         rows.append({
             "num_workers": num_workers,
-            "declared_byzantine_workers": declared,
+            "declared_byzantine_workers": declared_counts[num_workers],
             "throughput": throughput_updates_per_second(history),
             "final_accuracy": history.final_accuracy(),
         })

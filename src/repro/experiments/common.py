@@ -82,24 +82,31 @@ class ExperimentScale:
                    dataset_size=2000, image_size=8, learning_rate=0.05)
 
 
+def workload_num_classes(dataset: str) -> int:
+    """Label-space size of a named workload (shared with the sweep CLI)."""
+    if dataset == "images":
+        return 10
+    if dataset == "blobs":
+        return 4
+    raise ValueError(f"unknown dataset '{dataset}'")
+
+
 def build_workload(scale: ExperimentScale) -> Tuple[Dataset, Dataset, int, int]:
     """Build the train/test datasets for a scale.
 
     Returns ``(train, test, in_features, num_classes)`` where ``in_features``
     is the flattened feature dimension used by MLP/softmax models.
     """
+    num_classes = workload_num_classes(scale.dataset)
     if scale.dataset == "images":
         data = SyntheticImageDataset(num_samples=scale.dataset_size,
                                      image_size=scale.image_size, seed=scale.seed)
         in_features = 3 * scale.image_size * scale.image_size
-        num_classes = 10
-    elif scale.dataset == "blobs":
-        data = make_blobs_dataset(num_samples=scale.dataset_size, num_classes=4,
+    else:
+        data = make_blobs_dataset(num_samples=scale.dataset_size,
+                                  num_classes=num_classes,
                                   num_features=8, cluster_std=1.0, seed=scale.seed)
         in_features = 8
-        num_classes = 4
-    else:
-        raise ValueError(f"unknown dataset '{scale.dataset}'")
     train, test = data.split(0.85, seed=scale.seed)
     return train, test, in_features, num_classes
 

@@ -16,13 +16,9 @@ from typing import Dict, Optional
 
 from repro.byzantine import RandomGradientAttack, EquivocationAttack
 from repro.byzantine.base import ServerAttack, WorkerAttack
-from repro.core import ClusterConfig, GuanYuTrainer, VanillaTrainer
-from repro.experiments.common import (
-    ExperimentScale,
-    build_workload,
-    make_model_factory,
-    make_schedule,
-)
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import AttackSpec, CampaignSpec, ScenarioSpec
+from repro.experiments.common import ExperimentScale
 from repro.metrics import TrainingHistory
 
 FIGURE4_SYSTEMS = ("vanilla_tf", "vanilla_tf_byzantine", "guanyu_byzantine")
@@ -43,12 +39,15 @@ def run_figure4(scale: Optional[ExperimentScale] = None,
                 worker_attack: Optional[WorkerAttack] = None,
                 server_attack: Optional[ServerAttack] = None,
                 num_attacking_workers: Optional[int] = None,
-                num_attacking_servers: int = 1) -> Figure4Result:
+                num_attacking_servers: int = 1,
+                store=None, processes: Optional[int] = None) -> Figure4Result:
     """Run the Figure 4 comparison.
 
     By default the attacks are the paper's "totally corrupted data" worker
     attack and the "different bad models to different workers" equivocating
-    server; both can be swapped (the attack-sweep ablation does exactly that).
+    server; both can be swapped for any *registered* attack instance (the
+    attack-sweep ablation does exactly that) — the run is expressed as
+    campaign scenarios, which must be serialisable.
     """
     scale = scale if scale is not None else ExperimentScale.small()
     worker_attack = worker_attack if worker_attack is not None else \
@@ -64,42 +63,26 @@ def run_figure4(scale: Optional[ExperimentScale] = None,
     num_attacking_servers = min(num_attacking_servers,
                                 scale.declared_byzantine_servers)
 
-    train, test, in_features, num_classes = build_workload(scale)
-    model_fn = make_model_factory(scale, in_features, num_classes)
-    schedule = make_schedule(scale)
-    common = dict(model_fn=model_fn, train_dataset=train, test_dataset=test,
-                  batch_size=scale.batch_size, schedule=schedule, seed=scale.seed,
-                  cost_num_parameters=scale.billed_parameters)
-    result = Figure4Result()
-
-    # Reference: vanilla TF without any Byzantine node.
-    trainer = VanillaTrainer(num_workers=scale.num_workers, label="vanilla_tf",
-                             **common)
-    result.histories["vanilla_tf"] = trainer.run(
-        scale.num_steps, eval_every=scale.eval_every,
-        max_eval_samples=scale.max_eval_samples)
-
-    # Vanilla TF with a single Byzantine worker: averaging has breakdown 0.
-    trainer = VanillaTrainer(num_workers=scale.num_workers,
-                             worker_attack=worker_attack, num_attacking_workers=1,
-                             label="vanilla_tf_byzantine", **common)
-    result.histories["vanilla_tf_byzantine"] = trainer.run(
-        scale.num_steps, eval_every=scale.eval_every,
-        max_eval_samples=scale.max_eval_samples)
-
-    # GuanYu under simultaneous worker and server attacks.
-    config = ClusterConfig(num_servers=scale.num_servers,
-                           num_workers=scale.num_workers,
-                           num_byzantine_servers=scale.declared_byzantine_servers,
-                           num_byzantine_workers=scale.declared_byzantine_workers)
-    trainer = GuanYuTrainer(config=config,
-                            worker_attack=worker_attack,
-                            num_attacking_workers=num_attacking_workers,
-                            server_attack=server_attack,
-                            num_attacking_servers=num_attacking_servers,
-                            label="guanyu_byzantine", **common)
-    result.histories["guanyu_byzantine"] = trainer.run(
-        scale.num_steps, eval_every=scale.eval_every,
-        max_eval_samples=scale.max_eval_samples)
-
-    return result
+    base = ScenarioSpec.from_scale(scale)
+    worker_attack_spec = AttackSpec.from_attack(worker_attack)
+    server_attack_spec = AttackSpec.from_attack(server_attack)
+    scenarios = [
+        # Reference: vanilla TF without any Byzantine node.
+        base.replace(name="vanilla_tf", trainer="vanilla",
+                     gradient_rule="mean"),
+        # Vanilla TF with a single Byzantine worker: averaging has breakdown 0.
+        base.replace(name="vanilla_tf_byzantine", trainer="vanilla",
+                     gradient_rule="mean", worker_attack=worker_attack_spec,
+                     num_attacking_workers=1),
+        # GuanYu under simultaneous worker and server attacks.
+        base.replace(name="guanyu_byzantine", trainer="guanyu",
+                     worker_attack=worker_attack_spec,
+                     num_attacking_workers=num_attacking_workers,
+                     server_attack=server_attack_spec,
+                     num_attacking_servers=num_attacking_servers),
+    ]
+    campaign_result = run_campaign(CampaignSpec(name="figure4",
+                                                scenarios=scenarios),
+                                   store=store, processes=processes)
+    campaign_result.raise_on_failure()
+    return Figure4Result(histories=campaign_result.histories())

@@ -87,3 +87,79 @@ class TestSubcommands:
         assert code == 0
         payload = json.loads(path.read_text())
         assert "vanilla_tf_byzantine" in payload
+
+    def test_list_prints_registries(self, capsys):
+        code, out = _run(capsys, ["list"])
+        assert code == 0
+        assert "multi_krum" in out
+        assert "random_gradient" in out
+        assert "equivocation" in out
+        assert "guanyu_threaded" in out
+        assert "lognormal" in out
+
+
+class TestSweep:
+    SWEEP_ARGS = ["--steps", "4"] + BASE_ARGS[2:] + [
+        "sweep", "--gars", "multi_krum", "median",
+        "--attacks", "random_gradient", "sign_flip",
+        "--seeds", "0", "1"]
+
+    def test_grid_sweep_runs_persists_and_caches(self, capsys, tmp_path):
+        argv = self.SWEEP_ARGS + ["--store", str(tmp_path / "store"),
+                                  "--processes", "2"]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        # 2 GARs × 2 attacks × 2 seeds = 8 scenarios, all trained.
+        assert "8 scenarios — ran 8, cached 0, failed 0" in out
+        assert "gradient_rule=median-sign_flip-seed=1" in out
+
+        # Second invocation: 100 % cache hits, no re-training.
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "8 scenarios — ran 0, cached 8, failed 0" in out
+
+    def test_sweep_without_store_does_not_cache(self, capsys):
+        argv = ["--steps", "4"] + BASE_ARGS[2:] + [
+            "sweep", "--gars", "median", "--processes", "1"]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "1 scenarios — ran 1" in out
+
+    def test_sweep_from_spec_file(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, ScenarioSpec
+        campaign = CampaignSpec(
+            name="from-file",
+            base=ScenarioSpec(num_workers=6, num_servers=3,
+                              declared_byzantine_workers=1,
+                              declared_byzantine_servers=0, num_steps=4,
+                              eval_every=2, dataset_size=300),
+            grid={"seed": [0, 1]})
+        path = tmp_path / "campaign.json"
+        path.write_text(campaign.to_json())
+        code, out = _run(capsys, ["sweep", "--spec", str(path),
+                                  "--processes", "1"])
+        assert code == 0
+        assert "campaign 'from-file': 2 scenarios — ran 2" in out
+
+    def test_sweep_unusable_store_path_exits_cleanly(self, capsys):
+        argv = ["--steps", "4"] + BASE_ARGS[2:] + [
+            "sweep", "--gars", "median", "--store", "/dev/null/store"]
+        code, _ = _run(capsys, argv)
+        assert code == 2
+
+    def test_sweep_reports_failures_with_nonzero_exit(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, ScenarioSpec
+        campaign = CampaignSpec(
+            name="failing",
+            scenarios=[ScenarioSpec(
+                name="bad", num_workers=6, num_servers=3,
+                declared_byzantine_workers=1, declared_byzantine_servers=0,
+                num_steps=4, dataset_size=300,
+                worker_attack={"name": "label_flip",
+                               "kwargs": {"num_classes": 10}})])
+        path = tmp_path / "campaign.json"
+        path.write_text(campaign.to_json())
+        code, out = _run(capsys, ["sweep", "--spec", str(path),
+                                  "--processes", "1"])
+        assert code == 1
+        assert "FAILED bad" in out

@@ -141,3 +141,9 @@ class TestMaxPairwiseDistance:
     def test_known_value(self):
         vectors = [np.zeros(2), np.array([3.0, 4.0]), np.array([1.0, 1.0])]
         assert max_pairwise_distance(vectors) == pytest.approx(5.0)
+
+    def test_identical_vectors_give_exactly_zero(self):
+        # Servers that agree after the phase-3 median must report spread 0.0,
+        # not the Gram-matrix cancellation noise floor (~1e-8).
+        vector = np.random.default_rng(3).normal(size=2000) * 10.0
+        assert max_pairwise_distance([vector.copy() for _ in range(4)]) == 0.0

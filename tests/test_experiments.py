@@ -145,6 +145,19 @@ class TestAblations:
                                          "worker_attack": SignFlipAttack()}})
         assert list(histories) == ["sign_flip"]
 
+    def test_attack_sweep_forwards_extra_suite_fields(self, tiny_scale):
+        from repro.byzantine import SignFlipAttack
+        histories = run_attack_sweep(scale=tiny_scale, attacks={
+            "sf": {"worker_attack": SignFlipAttack(),
+                   "gradient_rule": "median"}})
+        assert histories["sf"].config["gradient_rule"] == "median"
+
+    def test_attack_sweep_rejects_name_override(self, tiny_scale):
+        from repro.byzantine import SignFlipAttack
+        with pytest.raises(ValueError, match="cannot override 'name'"):
+            run_attack_sweep(scale=tiny_scale, attacks={
+                "sf": {"worker_attack": SignFlipAttack(), "name": "custom"}})
+
     def test_quorum_ablation_explicit_quorums(self, tiny_scale):
         scale = dataclasses.replace(tiny_scale, num_workers=9,
                                     declared_byzantine_workers=1)

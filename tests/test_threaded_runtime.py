@@ -102,3 +102,66 @@ class TestThreadedClusterRuntime:
         runtime = self._runtime(blobs_split, softmax_model_fn)
         with pytest.raises(ValueError):
             runtime.run(num_steps=0)
+
+    def test_stalled_server_triggers_quorum_timeout(self, blobs_split,
+                                                    softmax_model_fn):
+        """The QuorumTimeout path: a stalled server starves the quorums.
+
+        With 3 servers the workers' model quorum is all 3, so one server
+        sleeping past the deadline before each broadcast makes every worker
+        time out — and :meth:`run` must surface that node error instead of
+        silently returning an empty history.
+        """
+        runtime = self._runtime(blobs_split, softmax_model_fn,
+                                straggler_sleep={"ps/0": 1.0},
+                                quorum_timeout=0.2)
+        with pytest.raises(QuorumTimeout, match="timed out waiting"):
+            runtime.run(num_steps=2)
+
+    def test_wait_quorum_timeout_message_names_the_shortfall(self):
+        transport = ThreadedTransport(["a", "b"])
+        transport.send("a", "b", MessageKind.MODEL_TO_WORKER, 0, np.ones(2))
+        with pytest.raises(QuorumTimeout, match=r"2 .* at step 0 \(got 1\)"):
+            transport.wait_quorum("b", MessageKind.MODEL_TO_WORKER, 0, 2,
+                                  timeout=0.2)
+
+
+class TestJitterDeterminism:
+    """Delivery jitter must be reproducible under a fixed transport seed."""
+
+    def _recorded_delays(self, monkeypatch, seed, num_messages=20):
+        recorded = []
+
+        class ImmediateTimer:
+            """Capture the sampled delay, then deliver synchronously."""
+
+            def __init__(self, delay, function, args=()):
+                recorded.append(float(delay))
+                self._function = function
+                self._args = args
+
+            def start(self):
+                self._function(*self._args)
+
+        monkeypatch.setattr("repro.runtime.threads.threading.Timer",
+                            ImmediateTimer)
+        transport = ThreadedTransport(["a", "b"], jitter=0.01, seed=seed)
+        for step in range(num_messages):
+            transport.send("a", "b", MessageKind.MODEL_TO_WORKER, step,
+                           np.ones(2))
+        # Jittered messages still arrive (quorum satisfiable per step).
+        payloads = transport.wait_quorum("b", MessageKind.MODEL_TO_WORKER, 0, 1,
+                                         timeout=0.5)
+        assert len(payloads) == 1
+        return recorded
+
+    def test_same_seed_means_identical_delay_sequence(self, monkeypatch):
+        first = self._recorded_delays(monkeypatch, seed=123)
+        second = self._recorded_delays(monkeypatch, seed=123)
+        assert first == second
+        assert len(first) == 20
+        assert all(0.0 <= delay <= 0.01 for delay in first)
+
+    def test_different_seeds_sample_different_delays(self, monkeypatch):
+        assert self._recorded_delays(monkeypatch, seed=1) != \
+            self._recorded_delays(monkeypatch, seed=2)
