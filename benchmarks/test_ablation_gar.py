@@ -6,7 +6,6 @@ trimmed mean and the (vulnerable) arithmetic mean under a worker attack.
 
 import dataclasses
 
-import pytest
 
 from repro.experiments import run_gar_ablation, run_quorum_ablation
 from repro.metrics import throughput_updates_per_second

@@ -16,8 +16,6 @@ majority) holds for this construction; the reproduction validates it in
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from repro.aggregation.base import GradientAggregationRule

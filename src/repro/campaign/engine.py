@@ -122,7 +122,8 @@ def build_trainer(spec: ScenarioSpec):
             delay_model=spec.build_delay_model(),
             cost_model=spec.build_cost_model(),
             sharding=spec.sharding, seed=spec.seed,
-            cost_num_parameters=spec.billed_parameters, label=spec.name)
+            cost_num_parameters=spec.billed_parameters,
+            fault_schedule=spec.faults, label=spec.name)
     if spec.trainer == "vanilla":
         return VanillaTrainer(
             model_fn=model_fn, train_dataset=train, test_dataset=test,
@@ -160,7 +161,7 @@ def build_trainer(spec: ScenarioSpec):
             gradient_rule_name=spec.gradient_rule,
             model_rule_name=spec.model_rule,
             jitter=spec.jitter, quorum_timeout=spec.quorum_timeout,
-            seed=spec.seed)
+            fault_schedule=spec.faults, seed=spec.seed)
     raise ValueError(f"unknown trainer '{spec.trainer}'")
 
 

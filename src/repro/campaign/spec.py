@@ -29,6 +29,7 @@ from repro.aggregation import available_rules, get_rule
 from repro.byzantine.base import ServerAttack, WorkerAttack
 from repro.byzantine.registry import available_attacks, get_attack
 from repro.core.config import ClusterConfig
+from repro.faults import FaultSchedule
 from repro.network.delays import (
     ConstantDelay,
     DelayModel,
@@ -141,6 +142,21 @@ def _coerce_attack(value: Union[None, str, Dict, AttackSpec]) -> Optional[Attack
     raise TypeError(f"cannot interpret {value!r} as an attack spec")
 
 
+def _coerce_faults(value: Union[None, Dict, FaultSchedule]) -> Optional[FaultSchedule]:
+    """Normalise a faults field; schedules that do nothing become ``None``.
+
+    The normalisation matters for content addressing: an empty schedule and
+    an absent one describe the same run, so they must hash identically.
+    """
+    if value is None:
+        return None
+    if isinstance(value, dict):
+        value = FaultSchedule.from_dict(value)
+    if not isinstance(value, FaultSchedule):
+        raise TypeError(f"cannot interpret {value!r} as a fault schedule")
+    return value if value else None
+
+
 # --------------------------------------------------------------------------- #
 # Scenario specification
 # --------------------------------------------------------------------------- #
@@ -183,6 +199,12 @@ class ScenarioSpec:
     jitter: float = 0.0
     quorum_timeout: float = 60.0
 
+    # -- time-varying faults (GuanYu trainers only) ------------------------- #
+    #: declarative :class:`~repro.faults.FaultSchedule` (or its dict form):
+    #: crashes/recoveries, partitions that heal, per-link delay spikes /
+    #: drop rates / slowdowns, step-gated attack activation
+    faults: Optional[FaultSchedule] = None
+
     # -- workload ----------------------------------------------------------- #
     dataset: str = "blobs"
     dataset_size: int = 800
@@ -204,6 +226,7 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         self.worker_attack = _coerce_attack(self.worker_attack)
         self.server_attack = _coerce_attack(self.server_attack)
+        self.faults = _coerce_faults(self.faults)
 
     # ------------------------------------------------------------------ #
     # Derived values
@@ -304,6 +327,14 @@ class ScenarioSpec:
             raise ValueError("external_communication models the 'vanilla "
                              "GuanYu' baseline and applies only to trainer "
                              "'vanilla'")
+        if self.faults is not None:
+            if self.trainer not in ("guanyu", "guanyu_threaded"):
+                raise ValueError(
+                    "fault schedules require replicated parameter servers; "
+                    f"trainer '{self.trainer}' assumes a live trusted server")
+            config = self.cluster_config()
+            self.faults.validate(
+                known_nodes=config.worker_ids() + config.server_ids())
         if self.trainer == "guanyu_threaded":
             # The threaded runtime runs on the real wall clock: delay/cost
             # models do not apply, and silently ignoring them would let two
@@ -397,6 +428,9 @@ class ScenarioSpec:
                                     if self.worker_attack else None)
         payload["server_attack"] = (self.server_attack.to_dict()
                                     if self.server_attack else None)
+        # Canonical compact form (defaulted event fields omitted) so that
+        # equal schedules serialise — and therefore hash — identically.
+        payload["faults"] = self.faults.to_dict() if self.faults else None
         return payload
 
     @classmethod
@@ -419,10 +453,14 @@ class ScenarioSpec:
 
         The ``name`` is a pure label and is excluded, so equal
         configurations share one cache entry regardless of how a campaign
-        or harness chose to name them.
+        or harness chose to name them.  An absent ``faults`` schedule is
+        excluded too: fault-free specs keep the addresses they had before
+        fault injection existed, and the hash changes iff the schedule does.
         """
         payload = self.to_dict()
         del payload["name"]
+        if payload["faults"] is None:
+            del payload["faults"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -53,6 +53,7 @@ class StoredResult:
             "server_attack": spec.server_attack.name if spec.server_attack else None,
             "workers": spec.num_workers,
             "seed": spec.seed,
+            "fault_events": len(spec.faults.events) if spec.faults else 0,
             "final_accuracy": self.history.final_accuracy(),
             "sim_time_s": self.history.total_time(),
             "key": self.key[:10],

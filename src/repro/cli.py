@@ -13,13 +13,18 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli list
     python -m repro.cli sweep --gars multi_krum median \
         --attacks random_gradient sign_flip --seeds 0 1 --store results/
+    python -m repro.cli resilience --mode crash --crashes 0 1 2 3
+    python -m repro.cli resilience --mode partition --heal-steps 20 30 40
 
 Every subcommand prints the regenerated table/figure as text (and an ASCII
 chart where the paper has a figure); ``--json PATH`` additionally writes the
 raw histories/rows for downstream plotting.  ``sweep`` runs a declarative
 scenario campaign (grid flags or a ``--spec`` JSON file) through the
 campaign engine — in parallel, with content-addressed result caching when
-``--store`` is given; ``list`` prints the registries sweep specs draw from.
+``--store`` is given; ``--faults FILE`` attaches a fault schedule to every
+grid cell.  ``resilience`` runs the canned crash-vs-quorum and
+partition-heal fault studies; ``list`` prints the registries sweep specs
+draw from.
 """
 
 from __future__ import annotations
@@ -49,14 +54,18 @@ from repro.experiments import (
     ExperimentScale,
     overhead_report,
     run_attack_sweep,
+    run_crash_quorum_study,
     run_figure3,
     run_figure4,
     run_gar_ablation,
+    run_partition_heal_study,
     run_quorum_ablation,
     run_scaling_study,
     run_table2,
     table1_report,
 )
+from repro.faults import FaultSchedule
+from repro import __version__
 from repro.metrics.tracker import TrainingHistory
 from repro.plotting import format_table, histories_summary_table, render_histories
 
@@ -239,9 +248,17 @@ def _workers_axis_entry(num_workers: int, base: ScenarioSpec) -> Dict:
 
 def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
     if args.spec:
+        if args.faults:
+            raise ValueError(
+                "--faults applies to grid sweeps only; a --spec campaign "
+                "file carries fault schedules in its scenarios' own "
+                "'faults' fields")
         return CampaignSpec.from_json_file(args.spec)
     base = ScenarioSpec.from_scale(_scale_from_args(args), trainer=args.trainer,
                                    name=args.name)
+    if args.faults:
+        with open(args.faults, "r", encoding="utf-8") as handle:
+            base = base.replace(faults=FaultSchedule.from_json(handle.read()))
     grid: Dict[str, list] = {}
     if args.gars:
         grid["gradient_rule"] = list(args.gars)
@@ -298,12 +315,47 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Resilience subcommand (fault-schedule engine)
+# --------------------------------------------------------------------------- #
+def cmd_resilience(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    try:
+        store = ResultStore(args.store) if args.store else None
+    except OSError as exc:
+        print(f"error: unusable store path: {exc}", file=sys.stderr)
+        return 2
+    if args.mode == "crash":
+        rows, histories = run_crash_quorum_study(
+            scale=scale, crash_counts=tuple(args.crashes),
+            quorum_sizes=tuple(args.quorums) if args.quorums else None,
+            crash_step=args.crash_step, recover_step=args.recover_step,
+            trainer=args.trainer, store=store, processes=args.processes)
+        print("Resilience — crash count × model quorum "
+              "(liveness boundary: crashed ≤ n − q)\n")
+    else:
+        rows, histories = run_partition_heal_study(
+            scale=scale, partition_step=args.partition_step,
+            heal_steps=tuple(args.heal_steps) if args.heal_steps else None,
+            trainer=args.trainer, store=store, processes=args.processes)
+        print("Resilience — partition-heal recovery "
+              "(phase-3 median re-contracts the stale replica)\n")
+    print(format_table(rows, float_format="{:.4f}"))
+    if store is not None:
+        print(f"\nresult store: {store.root} ({len(store)} entries)")
+    _dump_json(args.json, {"rows": rows,
+                           "histories": _histories_payload(histories)})
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the tables and figures of the GuanYu paper.")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     parser.add_argument("--json", help="write raw results to this JSON file")
     parser.add_argument("--preset", choices=("small", "paper"), default="small",
                         help="workload preset (default: small)")
@@ -368,17 +420,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-store directory (enables caching/resume)")
     sweep.add_argument("--processes", type=int, default=None,
                        help="pool size (default: min(cpu_count, 8); 1 = serial)")
+    sweep.add_argument("--faults", default=None, metavar="FILE",
+                       help="fault-schedule JSON applied to every grid cell")
     sweep.add_argument("--skip-invalid", action="store_true",
                        help="drop inadmissible grid cells instead of failing")
     sweep.set_defaults(func=cmd_sweep)
+
+    resilience = subparsers.add_parser(
+        "resilience", help="crash-vs-quorum and partition-heal fault studies")
+    resilience.add_argument("--mode", choices=("crash", "partition"),
+                            default="crash")
+    resilience.add_argument("--trainer",
+                            choices=("guanyu", "guanyu_threaded"),
+                            default="guanyu")
+    resilience.add_argument("--crashes", type=int, nargs="+",
+                            default=[0, 1, 2, 3],
+                            help="server crash counts to sweep (crash mode)")
+    resilience.add_argument("--quorums", type=int, nargs="+", default=None,
+                            help="model quorum sizes q (default: full range)")
+    resilience.add_argument("--crash-step", type=int, default=None,
+                            help="step at which servers crash")
+    resilience.add_argument("--recover-step", type=int, default=None,
+                            help="step at which crashed servers recover")
+    resilience.add_argument("--partition-step", type=int, default=None,
+                            help="step at which the partition opens")
+    resilience.add_argument("--heal-steps", type=int, nargs="+", default=None,
+                            help="heal steps to sweep (partition mode)")
+    resilience.add_argument("--store", default=None,
+                            help="result-store directory (caching/resume)")
+    resilience.add_argument("--processes", type=int, default=None,
+                            help="pool size (default: serial)")
+    resilience.set_defaults(func=cmd_resilience)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """Entry point: parse arguments and dispatch to the chosen subcommand."""
+    """Entry point: parse arguments and dispatch to the chosen subcommand.
+
+    Invalid arguments exit with status 2 (argparse's convention, applied
+    consistently to the semantic validation errors — ``ValueError`` /
+    ``KeyError`` — the harnesses raise for inadmissible parameters).
+    Genuine runtime failures (I/O errors, training errors) propagate with
+    their traceback and exit 1; per-scenario sweep failures are reported
+    by ``cmd_sweep`` itself.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

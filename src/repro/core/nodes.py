@@ -10,7 +10,7 @@ between the TensorFlow graph (local computation) and the gRPC plumbing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -30,7 +30,8 @@ from repro.core.config import ClusterConfig
 from repro.core.nodes import GradientResult, ServerNode, WorkerNode, max_pairwise_distance
 from repro.data.datasets import Dataset
 from repro.data.loader import DataLoader, shard_dataset
-from repro.metrics.accuracy import evaluate_accuracy, evaluate_loss
+from repro.faults import FaultController, FaultSchedule
+from repro.metrics.accuracy import evaluate_accuracy
 from repro.metrics.tracker import StepRecord, TrainingHistory
 from repro.network.delays import DelayModel, UniformDelay
 from repro.network.message import MessageKind
@@ -70,6 +71,11 @@ class DistributedTrainer:
         scaled-down experiments train a small model but bill time as if the
         paper's 1.75 M-parameter CNN were being exchanged, which preserves
         the time-axis shape of Figure 3.  Defaults to the actual model size.
+    fault_schedule:
+        Optional declarative :class:`~repro.faults.FaultSchedule` (crashes,
+        partitions, delay spikes, gated attacks) injected at the network
+        and protocol layer.  Only :class:`GuanYuTrainer` supports it — the
+        single-server baselines assume a live trusted server.
     """
 
     def __init__(self, model_fn: ModelFactory, train_dataset: Dataset,
@@ -79,6 +85,7 @@ class DistributedTrainer:
                  cost_model: CostModel = GRID5000_LIKE,
                  sharding: str = "iid", seed: int = 0,
                  cost_num_parameters: Optional[int] = None,
+                 fault_schedule: Optional[FaultSchedule] = None,
                  label: str = "experiment") -> None:
         self.model_fn = model_fn
         self.train_dataset = train_dataset
@@ -90,12 +97,16 @@ class DistributedTrainer:
         self.sharding = sharding
         self.seed = seed
         self.label = label
+        self.fault_schedule = fault_schedule
+        self.fault_controller = (FaultController(fault_schedule, seed=seed)
+                                 if fault_schedule else None)
 
         self._eval_model = model_fn()
         self.num_parameters = self._eval_model.num_parameters()
         self.billed_parameters = (cost_num_parameters if cost_num_parameters
                                   else self.num_parameters)
-        self.network = NetworkSimulator(delay_model=self.delay_model, seed=seed)
+        self.network = NetworkSimulator(delay_model=self.delay_model, seed=seed,
+                                        fault_controller=self.fault_controller)
         self.history = TrainingHistory(label=label)
 
     # ------------------------------------------------------------------ #
@@ -179,6 +190,12 @@ class GuanYuTrainer(DistributedTrainer):
     gradient_rule_name, model_rule_name:
         GARs used for phase 2 (default Multi-Krum) and phases 1/3 (default
         coordinate-wise median); exposed for the ablation benchmarks.
+    fault_schedule:
+        Optional time-varying faults (see :mod:`repro.faults`).  Crashed
+        nodes skip their local computation and all traffic; quorums keep the
+        protocol live as long as every receiver can still hear from a full
+        quorum (e.g. ≤ ``f`` crashed servers with the default quorums), and
+        an infeasible schedule fails loudly with a quorum error.
     """
 
     def __init__(self, config: ClusterConfig, model_fn: ModelFactory,
@@ -228,6 +245,12 @@ class GuanYuTrainer(DistributedTrainer):
                 seed=self.seed + 3000 + index,
             ))
 
+        if self.fault_controller is not None:
+            self.fault_schedule.validate(known_nodes=worker_ids + server_ids)
+            for node in [*self.workers, *self.servers]:
+                node.attack = self.fault_controller.gate_attack(node.node_id,
+                                                                node.attack)
+
         self._server_clock = {server.node_id: 0.0 for server in self.servers}
         self._worker_clock = {worker.node_id: 0.0 for worker in self.workers}
         self.history.config = {
@@ -239,6 +262,8 @@ class GuanYuTrainer(DistributedTrainer):
             "num_attacking_servers": num_attacking_servers,
             "worker_attack": getattr(worker_attack, "name", None),
             "server_attack": getattr(server_attack, "name", None),
+            "faults": (self.fault_schedule.to_dict()
+                       if self.fault_schedule else None),
         }
 
     # ------------------------------------------------------------------ #
@@ -287,18 +312,60 @@ class GuanYuTrainer(DistributedTrainer):
             [server.current_parameters() for server in self.correct_servers])
 
     # ------------------------------------------------------------------ #
+    def _alive(self, node_id: str, step_index: int) -> bool:
+        return (self.fault_controller is None
+                or self.fault_controller.node_alive(node_id, step_index))
+
+    def _participants(self, step_index: int):
+        """``(participating worker ids, participating server ids)`` as sets.
+
+        Crashed nodes sit the step out entirely; nodes that active faults
+        leave short of a quorum — directly or transitively, see
+        :meth:`repro.faults.FaultController.participating_nodes` — stall
+        with frozen state.  Without faults everyone participates.
+        """
+        worker_ids = [worker.node_id for worker in self.workers]
+        server_ids = [server.node_id for server in self.servers]
+        if self.fault_controller is None:
+            return set(worker_ids), set(server_ids)
+        workers, servers = self.fault_controller.participating_nodes(
+            worker_ids, server_ids, self.config.model_quorum,
+            self.config.gradient_quorum, step_index)
+        return set(workers), set(servers)
+
     def step(self, step_index: int) -> StepRecord:
-        """One full GuanYu step (the three phases of Figure 2)."""
+        """One full GuanYu step (the three phases of Figure 2).
+
+        Under a fault schedule, crashed nodes neither compute nor send nor
+        collect for the step, and nodes left short of a quorum (e.g.
+        partitioned away) stall with frozen state until reachability
+        returns; everyone else proceeds on quorums alone.  A schedule that
+        starves *everyone* freezes learning for the step — visible as
+        ``train_loss=None`` — and training resumes when the faults lift.
+        """
         config = self.config
         cost = self.cost_model
         d = self.billed_parameters
         serialization = self._serialization()
-        phase_start = min(self._server_clock[s.node_id] for s in self.correct_servers)
+        if self.fault_controller is not None:
+            self.fault_controller.on_step(step_index)
+        active_worker_ids, active_server_ids = self._participants(step_index)
+        alive_correct_servers = [s for s in self.correct_servers
+                                 if self._alive(s.node_id, step_index)]
+        if not alive_correct_servers:
+            raise RuntimeError(
+                f"fault schedule leaves no correct server alive at step "
+                f"{step_index}; the protocol cannot make progress")
+        phase_start = min(self._server_clock[s.node_id]
+                          for s in alive_correct_servers)
 
         # ------------------------- Phase 1 ------------------------------ #
-        # Every parameter server broadcasts its model to every worker.
+        # Every participating parameter server broadcasts its model to
+        # every worker.
         worker_ids = [worker.node_id for worker in self.workers]
         for server in self.servers:
+            if server.node_id not in active_server_ids:
+                continue
             if server.is_byzantine:
                 # The adversary sends (possibly different) corrupted models,
                 # racing honest traffic on its covert channel.
@@ -315,10 +382,13 @@ class GuanYuTrainer(DistributedTrainer):
                                        server.outgoing_model(step_index),
                                        send_time=send_time)
 
-        # Every correct worker waits for the first q models, aggregates them
-        # with the coordinate-wise median and computes a gradient there.
+        # Every participating worker waits for the first q models,
+        # aggregates them with the coordinate-wise median and computes a
+        # gradient there.
         results: Dict[str, GradientResult] = {}
-        for worker in self.workers:
+        alive_workers = [w for w in self.workers
+                         if w.node_id in active_worker_ids]
+        for worker in alive_workers:
             record = self.network.collect_quorum(
                 worker.node_id, MessageKind.MODEL_TO_WORKER, step_index,
                 quorum=config.model_quorum,
@@ -329,14 +399,18 @@ class GuanYuTrainer(DistributedTrainer):
                             + cost.gradient_time(result.batch_size, d))
             self._worker_clock[worker.node_id] = record.completion_time + compute_time
 
-        correct_gradients = [results[w.node_id].gradient for w in self.correct_workers]
-        phase1_end = float(np.mean([self._worker_clock[w.node_id]
-                                    for w in self.correct_workers]))
+        alive_correct_workers = [w for w in alive_workers if not w.is_byzantine]
+        correct_gradients = [results[w.node_id].gradient
+                             for w in alive_correct_workers]
+        phase1_end = (float(np.mean([self._worker_clock[w.node_id]
+                                     for w in alive_correct_workers]))
+                      if alive_correct_workers else phase_start)
 
         # ------------------------- Phase 2 ------------------------------ #
-        # Every worker broadcasts its gradient to every parameter server.
+        # Every participating worker broadcasts its gradient to every
+        # parameter server.
         server_ids = [server.node_id for server in self.servers]
-        for worker in self.workers:
+        for worker in alive_workers:
             result = results[worker.node_id]
             if worker.is_byzantine:
                 for server_id in server_ids:
@@ -354,9 +428,12 @@ class GuanYuTrainer(DistributedTrainer):
                                        worker.outgoing_gradient(result, step_index),
                                        send_time=send_time)
 
-        # Every correct server waits for the first q̄ gradients, aggregates
-        # them with Multi-Krum and applies the local SGD update.
-        for server in self.correct_servers:
+        # Every participating correct server waits for the first q̄
+        # gradients, aggregates them with Multi-Krum and applies the local
+        # SGD update.
+        active_servers = [s for s in alive_correct_servers
+                          if s.node_id in active_server_ids]
+        for server in active_servers:
             record = self.network.collect_quorum(
                 server.node_id, MessageKind.GRADIENT_TO_SERVER, step_index,
                 quorum=config.gradient_quorum,
@@ -367,12 +444,15 @@ class GuanYuTrainer(DistributedTrainer):
                             + cost.update_time(d))
             self._server_clock[server.node_id] = record.completion_time + compute_time
         phase2_end = float(np.mean([self._server_clock[s.node_id]
-                                    for s in self.correct_servers]))
+                                    for s in alive_correct_servers]))
 
         # ------------------------- Phase 3 ------------------------------ #
-        # Every parameter server broadcasts its updated model to the others
-        # and installs the coordinate-wise median of the first q received.
+        # Every live parameter server broadcasts its updated model to the
+        # others and installs the coordinate-wise median of the first q
+        # received.
         for server in self.servers:
+            if server.node_id not in active_server_ids:
+                continue
             if server.is_byzantine:
                 for server_id in server_ids:
                     payload = server.outgoing_model(step_index, recipient=server_id)
@@ -391,7 +471,7 @@ class GuanYuTrainer(DistributedTrainer):
                                       payload, send_time=send_time,
                                       delay_override=delay_override)
 
-        for server in self.correct_servers:
+        for server in active_servers:
             record = self.network.collect_quorum(
                 server.node_id, MessageKind.MODEL_TO_SERVER, step_index,
                 quorum=config.model_quorum,
@@ -403,13 +483,14 @@ class GuanYuTrainer(DistributedTrainer):
         # Drop anything left over from this step (late messages are discarded).
         self.network.purge_step(step_index)
         phase3_end = float(np.mean([self._server_clock[s.node_id]
-                                    for s in self.correct_servers]))
+                                    for s in alive_correct_servers]))
 
-        correct_losses = [results[w.node_id].loss for w in self.correct_workers]
+        correct_losses = [results[w.node_id].loss
+                          for w in alive_correct_workers]
         return StepRecord(
             step=step_index,
             simulated_time=max(self._server_clock[s.node_id]
-                               for s in self.correct_servers),
+                               for s in alive_correct_servers),
             train_loss=float(np.mean(correct_losses)) if correct_losses else None,
             max_server_spread=self.server_spread(),
             learning_rate=self.schedule(step_index),
@@ -444,6 +525,11 @@ class VanillaTrainer(DistributedTrainer):
                  gradient_rule=None, label: str = "vanilla", **kwargs) -> None:
         super().__init__(model_fn=model_fn, train_dataset=train_dataset,
                          test_dataset=test_dataset, label=label, **kwargs)
+        if self.fault_schedule is not None:
+            raise ValueError(
+                "fault schedules require replicated parameter servers; the "
+                "single-server trainers assume a live trusted server — use "
+                "GuanYuTrainer or the threaded runtime")
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if num_attacking_workers > 0 and worker_attack is None:

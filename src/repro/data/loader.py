@@ -8,7 +8,7 @@ draws reproducible mini-batches from a shard.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 

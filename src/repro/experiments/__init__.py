@@ -12,6 +12,7 @@ share exactly the same code:
 ``table2``             alignment of parameter-difference vectors (Table 2)
 ``overhead``           the §5.3 overhead breakdown (65 % / ~30 % numbers)
 ``ablations``          GAR ablation, attack sweep, cluster-size scaling
+``resilience``         crash-vs-quorum and partition-heal fault studies
 =====================  ===========================================================
 
 The experiments run on a scaled-down workload (synthetic data, small models,
@@ -32,6 +33,11 @@ from repro.experiments.ablations import (
     run_quorum_ablation,
     run_scaling_study,
 )
+from repro.experiments.resilience import (
+    run_crash_quorum_study,
+    run_partition_heal_study,
+    schedule_for_crashes,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -49,4 +55,7 @@ __all__ = [
     "run_attack_sweep",
     "run_quorum_ablation",
     "run_scaling_study",
+    "run_crash_quorum_study",
+    "run_partition_heal_study",
+    "schedule_for_crashes",
 ]

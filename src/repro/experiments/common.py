@@ -11,8 +11,8 @@ scale used for the recorded runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
 
 from repro.data.datasets import Dataset, SyntheticImageDataset, make_blobs_dataset
 from repro.nn import build_model

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.metrics.tracker import TrainingHistory
 
 

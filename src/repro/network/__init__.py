@@ -6,7 +6,9 @@ variable message delays and (b) the resulting "first q received" delivery
 order at each node.  This package provides a seeded, discrete-event message
 simulator reproducing exactly those properties, with pluggable delay models
 (constant, uniform, exponential, log-normal, per-link heterogeneity, slow
-nodes, partition bursts) and optional message loss/duplication faults.
+nodes, partition bursts) and controller-backed fault injection — message
+loss/duplication plus the timed crashes, partitions and delay spikes of
+:mod:`repro.faults`.
 """
 
 from repro.network.message import Message, MessageKind

@@ -2,8 +2,9 @@
 
 The simulator keeps one mailbox per recipient.  Senders call :meth:`send`
 with a send timestamp; the simulator samples a delay from the configured
-:class:`~repro.network.delays.DelayModel`, optionally drops or duplicates
-the message (fault injection), and records the delivery.  Receivers call
+:class:`~repro.network.delays.DelayModel`, consults the optional
+:class:`~repro.faults.FaultController` (crashes, partitions, drop rates,
+delay spikes, duplication), and records the delivery.  Receivers call
 :meth:`collect_quorum` to obtain the *first q* messages of a given kind and
 step — exactly the delivery rule of GuanYu (Figure 2, "late messages being
 discarded") — together with the simulated time at which the q-th message
@@ -16,29 +17,40 @@ guarantees by construction (quorums ≤ number of correct nodes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.faults import FaultController, FaultSchedule
 from repro.network.delays import ConstantDelay, DelayModel
 from repro.network.message import Message, MessageKind
 
 
 @dataclass
 class NetworkStats:
-    """Aggregate statistics maintained by the simulator."""
+    """Aggregate statistics maintained by the simulator.
+
+    ``messages_delivered`` counts actual mailbox deliveries — duplicates
+    included — and is the divisor of :attr:`mean_delay`, so duplicated
+    deliveries (whose delay also accrues to ``total_delay``) cannot skew
+    the mean.  ``messages_blocked`` counts deterministic fault suppression
+    (crashed endpoints, active partitions), kept separate from the
+    probabilistic ``messages_dropped``.
+    """
 
     messages_sent: int = 0
     messages_dropped: int = 0
+    messages_blocked: int = 0
     messages_duplicated: int = 0
+    messages_delivered: int = 0
     bytes_sent: int = 0
     total_delay: float = 0.0
 
     @property
     def mean_delay(self) -> float:
-        delivered = self.messages_sent - self.messages_dropped
-        return self.total_delay / delivered if delivered > 0 else 0.0
+        return (self.total_delay / self.messages_delivered
+                if self.messages_delivered > 0 else 0.0)
 
 
 @dataclass
@@ -66,18 +78,27 @@ class NetworkSimulator:
     delay_model:
         Delay distribution applied to every message.
     seed:
-        Seed of the simulator's random generator (delays, drops).
+        Seed of the simulator's random generator (delays) and of the
+        implicit fault controller's hash-based sampling.
     drop_probability:
         Probability that a message is silently lost.  The GuanYu protocol
         layer re-reads quorums, so occasional losses only slow progress.
+        Back-compat shorthand for a :class:`FaultSchedule` with the same
+        ``drop_rate``; ignored when ``fault_controller`` is given.
     duplicate_probability:
         Probability that a message is delivered twice (the protocol layer
-        deduplicates by sender).
+        deduplicates by sender).  Back-compat shorthand like
+        ``drop_probability``.
+    fault_controller:
+        Full declarative fault injection (crashes, partitions, per-link
+        delay spikes / drop rates, duplication).  Supersedes the two
+        probability shorthands.
     """
 
     def __init__(self, delay_model: Optional[DelayModel] = None, seed: int = 0,
                  drop_probability: float = 0.0,
-                 duplicate_probability: float = 0.0) -> None:
+                 duplicate_probability: float = 0.0,
+                 fault_controller: Optional[FaultController] = None) -> None:
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError("drop_probability must be in [0, 1)")
         if not 0.0 <= duplicate_probability < 1.0:
@@ -85,6 +106,11 @@ class NetworkSimulator:
         self.delay_model = delay_model if delay_model is not None else ConstantDelay()
         self.drop_probability = drop_probability
         self.duplicate_probability = duplicate_probability
+        if fault_controller is None and (drop_probability or duplicate_probability):
+            fault_controller = FaultController(
+                FaultSchedule(drop_rate=drop_probability,
+                              duplicate_rate=duplicate_probability), seed=seed)
+        self.faults = fault_controller
         self._rng = np.random.default_rng(seed)
         self._mailboxes: Dict[str, List[Message]] = {}
         self.stats = NetworkStats()
@@ -110,26 +136,37 @@ class NetworkSimulator:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.size_bytes
 
-        if self.drop_probability and self._rng.random() < self.drop_probability:
-            self.stats.messages_dropped += 1
-            return None
+        decision = None
+        if self.faults is not None:
+            decision = self.faults.on_send(sender, recipient, kind.value, step)
+            if not decision.deliver:
+                if decision.blocked_by == "drop":
+                    self.stats.messages_dropped += 1
+                else:  # crash / partition: deterministic suppression
+                    self.stats.messages_blocked += 1
+                return None
 
         if delay_override is not None:
             delay = max(float(delay_override), 0.0)
         else:
             delay = self.delay_model.sample(self._rng, sender, recipient,
                                             message.size_bytes)
+        if decision is not None:
+            delay = decision.apply_to_delay(delay)
         message.deliver_time = send_time + delay
         self.stats.total_delay += delay
+        self.stats.messages_delivered += 1
         self._mailboxes.setdefault(recipient, []).append(message)
 
-        if self.duplicate_probability and self._rng.random() < self.duplicate_probability:
+        if decision is not None and decision.duplicate:
             duplicate = Message(sender=sender, recipient=recipient, kind=kind,
                                 step=step, payload=message.payload,
                                 send_time=send_time,
                                 deliver_time=message.deliver_time + delay)
             self._mailboxes.setdefault(recipient, []).append(duplicate)
             self.stats.messages_duplicated += 1
+            self.stats.messages_delivered += 1
+            self.stats.total_delay += 2 * delay
         return message
 
     def broadcast(self, sender: str, recipients: List[str], kind: MessageKind,

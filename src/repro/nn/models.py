@@ -11,7 +11,7 @@ a CPU-only machine while exercising exactly the same code paths.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

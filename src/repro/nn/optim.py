@@ -9,11 +9,11 @@ ablations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.nn.module import Module, Parameter
+from repro.nn.module import Module
 
 
 class Optimizer:

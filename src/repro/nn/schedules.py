@@ -9,8 +9,6 @@ is provided for fidelity with the experimental section and for ablations.
 
 from __future__ import annotations
 
-import math
-
 
 class LearningRateSchedule:
     """Base class mapping a step index to a learning rate."""

@@ -29,6 +29,7 @@ from repro.core.config import ClusterConfig
 from repro.core.nodes import ServerNode, WorkerNode, max_pairwise_distance
 from repro.data.datasets import Dataset
 from repro.data.loader import DataLoader, shard_dataset
+from repro.faults import FaultController, FaultSchedule
 from repro.aggregation import get_rule
 from repro.metrics.tracker import StepRecord, TrainingHistory
 from repro.network.message import Message, MessageKind
@@ -41,27 +42,55 @@ class QuorumTimeout(RuntimeError):
 
 
 class ThreadedTransport:
-    """In-process message transport with optional random delivery jitter."""
+    """In-process message transport with optional random delivery jitter.
+
+    An optional :class:`~repro.faults.FaultController` is consulted once
+    per message: crashed endpoints and active partitions suppress delivery,
+    per-link overrides scale/extend the delivery delay, and probabilistic
+    drops use the controller's hash-based sampling so the outcome is
+    independent of thread scheduling.
+    """
 
     def __init__(self, node_ids: Sequence[str], jitter: float = 0.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 fault_controller: Optional[FaultController] = None) -> None:
         self._lock = threading.Lock()
         self._conditions: Dict[str, threading.Condition] = {}
         self._buffers: Dict[str, Dict[Tuple[MessageKind, int], Dict[str, Message]]] = {}
         for node_id in node_ids:
             self._conditions[node_id] = threading.Condition()
             self._buffers[node_id] = defaultdict(dict)
+        self._abandoned: Dict[str, set] = {node_id: set() for node_id in node_ids}
         self.jitter = jitter
+        self.faults = fault_controller
         self._rng = np.random.default_rng(seed)
         self.messages_sent = 0
+        self.messages_suppressed = 0
 
     def _deliver(self, message: Message) -> None:
         condition = self._conditions[message.recipient]
         with condition:
+            if message.step in self._abandoned[message.recipient]:
+                return  # the recipient sat this step out; discard late mail
             bucket = self._buffers[message.recipient][(message.kind, message.step)]
             # Keep only the first message per sender (deduplication).
             bucket.setdefault(message.sender, message)
             condition.notify_all()
+
+    def abandon_step(self, node_id: str, step: int) -> None:
+        """Drop (and keep dropping) ``node_id``'s mail for a sat-out step.
+
+        A node that sits a step out never collects its quorums, so without
+        this the peers' broadcasts for that step would sit in its buffers
+        for the rest of the run — one model-sized payload per peer per
+        skipped step.
+        """
+        condition = self._conditions[node_id]
+        with condition:
+            self._abandoned[node_id].add(step)
+            buffers = self._buffers[node_id]
+            for key in [key for key in buffers if key[1] == step]:
+                del buffers[key]
 
     def send(self, sender: str, recipient: str, kind: MessageKind, step: int,
              payload: Optional[np.ndarray]) -> None:
@@ -74,8 +103,29 @@ class ThreadedTransport:
                           step=step, payload=np.asarray(payload, dtype=np.float64))
         with self._lock:
             self.messages_sent += 1
+        delay = 0.0
+        duplicate = False
         if self.jitter > 0:
-            delay = float(self._rng.uniform(0.0, self.jitter))
+            with self._lock:  # the generator is not thread-safe
+                delay = float(self._rng.uniform(0.0, self.jitter))
+        if self.faults is not None:
+            decision = self.faults.on_send(sender, recipient, kind.value, step)
+            if not decision.deliver:
+                with self._lock:
+                    self.messages_suppressed += 1
+                return
+            delay = decision.apply_to_delay(delay)
+            duplicate = decision.duplicate
+        self._schedule(message, delay)
+        if duplicate:
+            # Mirrors the simulator: the copy arrives one delay later and
+            # the per-sender deduplication at the receiver absorbs it.
+            self._schedule(Message(sender=sender, recipient=recipient,
+                                   kind=kind, step=step,
+                                   payload=message.payload), 2 * delay)
+
+    def _schedule(self, message: Message, delay: float) -> None:
+        if delay > 0:
             timer = threading.Timer(delay, self._deliver, args=(message,))
             timer.daemon = True
             timer.start()
@@ -137,6 +187,12 @@ class ThreadedClusterRuntime:
         modelling slow nodes.
     jitter:
         Upper bound of the uniform random delivery delay added per message.
+    fault_schedule:
+        Optional declarative :class:`~repro.faults.FaultSchedule`.  The
+        step gating the events is each node's *own* protocol step (nodes
+        progress at different wall-clock rates); crashed nodes sit out
+        their steps, nodes partitioned away from a full quorum stall, and
+        the remaining nodes keep making progress on quorums alone.
     """
 
     def __init__(self, config: ClusterConfig, model_fn: Callable[[], Module],
@@ -151,6 +207,7 @@ class ThreadedClusterRuntime:
                  jitter: float = 0.0,
                  straggler_sleep: Optional[Dict[str, float]] = None,
                  quorum_timeout: float = 60.0,
+                 fault_schedule: Optional[FaultSchedule] = None,
                  seed: int = 0) -> None:
         if num_attacking_workers > config.num_byzantine_workers:
             raise ValueError("more attacking workers than declared Byzantine workers")
@@ -163,8 +220,13 @@ class ThreadedClusterRuntime:
 
         worker_ids = config.worker_ids()
         server_ids = config.server_ids()
+        self.fault_schedule = fault_schedule
+        self.faults = None
+        if fault_schedule:
+            fault_schedule.validate(known_nodes=worker_ids + server_ids)
+            self.faults = FaultController(fault_schedule, seed=seed)
         self.transport = ThreadedTransport(worker_ids + server_ids, jitter=jitter,
-                                           seed=seed)
+                                           seed=seed, fault_controller=self.faults)
 
         shards = shard_dataset(train_dataset, len(worker_ids), seed=seed)
         attacking_workers = set(worker_ids[len(worker_ids) - num_attacking_workers:]) \
@@ -195,8 +257,15 @@ class ThreadedClusterRuntime:
                 attack=server_attack if server_id in attacking_servers else None,
                 seed=seed + 300 + index))
 
+        if self.faults is not None:
+            for node in [*self.workers, *self.servers]:
+                node.attack = self.faults.gate_attack(node.node_id, node.attack)
+
         self._history = TrainingHistory(label="guanyu-threaded",
-                                        config=config.as_dict())
+                                        config={**config.as_dict(),
+                                                "faults": (fault_schedule.to_dict()
+                                                           if fault_schedule
+                                                           else None)})
         self._record_lock = threading.Lock()
         self._step_times: Dict[int, float] = {}
         self._step_losses: Dict[int, List[float]] = defaultdict(list)
@@ -217,9 +286,35 @@ class ThreadedClusterRuntime:
         if delay > 0:
             time.sleep(delay)
 
+    def _sits_out(self, node_id: str, step: int) -> bool:
+        """Whether faults force ``node_id`` to sit out ``step``.
+
+        Crashed nodes do nothing for the step; nodes that faults leave
+        short of a quorum — directly or transitively through other stalled
+        nodes — sit it out too, judged by the same participation fixpoint
+        the simulated trainer uses (see
+        :meth:`repro.faults.FaultController.participating_nodes`), so no
+        node ever blocks on a peer that is sitting the step out.  Skipped
+        steps cost no wall-clock: the node's mail for the step is
+        discarded and its next ``wait_quorum`` simply blocks until its
+        peers reach that step.
+        """
+        if self.faults is None:
+            return False
+        self.faults.on_step(step)
+        workers, servers = self.faults.participating_nodes(
+            self.config.worker_ids(), self.config.server_ids(),
+            self.config.model_quorum, self.config.gradient_quorum, step)
+        if node_id in workers or node_id in servers:
+            return False
+        self.transport.abandon_step(node_id, step)
+        return True
+
     def _worker_loop(self, worker: WorkerNode, num_steps: int) -> None:
         server_ids = self.config.server_ids()
         for step in range(num_steps):
+            if self._sits_out(worker.node_id, step):
+                continue
             models = self.transport.wait_quorum(
                 worker.node_id, MessageKind.MODEL_TO_WORKER, step,
                 quorum=self.config.model_quorum, timeout=self.quorum_timeout)
@@ -239,6 +334,8 @@ class ThreadedClusterRuntime:
         worker_ids = self.config.worker_ids()
         server_ids = self.config.server_ids()
         for step in range(num_steps):
+            if self._sits_out(server.node_id, step):
+                continue
             self._maybe_straggle(server.node_id)
             # Phase 1: broadcast the current model to the workers.
             for worker_id in worker_ids:

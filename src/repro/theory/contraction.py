@@ -8,7 +8,7 @@ what the property-based tests and the theory benchmark exercise.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

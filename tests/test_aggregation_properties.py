@@ -14,7 +14,6 @@ These encode the invariants the convergence proof relies on:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

@@ -30,6 +30,20 @@ class TestParser:
         assert args.batch_size == 128
         assert args.preset == "small"
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_invalid_arguments_exit_2(self, capsys):
+        # semantic validation errors (not argparse parse errors) must exit 2
+        code = cli.main(["--steps", "4", "--workers-count", "6",
+                         "--servers-count", "3", "scaling", "--workers", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestSubcommands:
     def test_table1(self, capsys):
@@ -147,6 +161,38 @@ class TestSweep:
         code, _ = _run(capsys, argv)
         assert code == 2
 
+    def test_sweep_with_fault_schedule_file(self, capsys, tmp_path):
+        faults = {"events": [
+            {"step": 1, "kind": "crash", "nodes": ["ps/2"]},
+            {"step": 3, "kind": "recover", "nodes": ["ps/2"]},
+        ]}
+        path = tmp_path / "faults.json"
+        path.write_text(json.dumps(faults))
+        argv = ["--steps", "4"] + BASE_ARGS[2:] + [
+            "sweep", "--gars", "multi_krum", "--faults", str(path),
+            "--processes", "1"]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "1 scenarios — ran 1" in out
+
+    def test_sweep_missing_faults_file_exits_2(self, capsys):
+        argv = ["--steps", "4"] + BASE_ARGS[2:] + [
+            "sweep", "--gars", "median", "--faults", "/does/not/exist.json"]
+        code, _ = _run(capsys, argv)
+        assert code == 2
+
+    def test_sweep_rejects_spec_plus_faults(self, capsys, tmp_path):
+        """--faults must not be silently ignored when --spec is given."""
+        from repro.campaign import CampaignSpec
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(CampaignSpec(name="c").to_json())
+        faults_path = tmp_path / "faults.json"
+        faults_path.write_text(json.dumps({"events": []}))
+        code = cli.main(["sweep", "--spec", str(spec_path),
+                         "--faults", str(faults_path)])
+        assert code == 2
+        assert "--faults" in capsys.readouterr().err
+
     def test_sweep_reports_failures_with_nonzero_exit(self, capsys, tmp_path):
         from repro.campaign import CampaignSpec, ScenarioSpec
         campaign = CampaignSpec(
@@ -163,3 +209,42 @@ class TestSweep:
                                   "--processes", "1"])
         assert code == 1
         assert "FAILED bad" in out
+
+
+class TestResilience:
+    RES_ARGS = ["--steps", "9", "--workers-count", "6", "--servers-count", "6"]
+
+    def test_crash_mode_prints_boundary_table(self, capsys, tmp_path):
+        argv = self.RES_ARGS + ["resilience", "--mode", "crash",
+                                "--crashes", "0", "2", "--quorums", "3", "5",
+                                "--crash-step", "3", "--recover-step", "6",
+                                "--store", str(tmp_path / "store")]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "model_quorum" in out and "stalled_steps" in out
+        assert "result store:" in out
+
+    def test_partition_mode_prints_recovery_rows(self, capsys):
+        argv = self.RES_ARGS + ["resilience", "--mode", "partition",
+                                "--partition-step", "2",
+                                "--heal-steps", "5", "8"]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "spread_before_heal" in out
+
+    def test_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "res.json"
+        argv = self.RES_ARGS + ["--json", str(path), "resilience",
+                                "--mode", "crash", "--crashes", "0",
+                                "--quorums", "3"]
+        code, _ = _run(capsys, argv)
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["rows"][0]["model_quorum"] == 3
+
+    def test_invalid_heal_steps_exit_2(self, capsys):
+        argv = self.RES_ARGS + ["resilience", "--mode", "partition",
+                                "--partition-step", "5",
+                                "--heal-steps", "4"]
+        code, _ = _run(capsys, argv)
+        assert code == 2

@@ -1,6 +1,5 @@
 """Cross-cutting integration tests: fault injection, sharding, schedules, models."""
 
-import numpy as np
 import pytest
 
 from repro import ClusterConfig, GuanYuTrainer, VanillaTrainer

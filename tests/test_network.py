@@ -68,6 +68,49 @@ class TestDelayModels:
             LogNormalDelay(median=0.0)
 
 
+class TestDelayModelStatistics:
+    """Statistical sanity: the sampled distributions match their parameters."""
+
+    NUM_SAMPLES = 20_000
+
+    def _samples(self, model, seed=0):
+        rng = np.random.default_rng(seed)
+        return np.array([model.latency(rng, "a", "b")
+                         for _ in range(self.NUM_SAMPLES)])
+
+    def test_exponential_mean_within_tolerance(self):
+        model = ExponentialDelay(mean=2e-3, minimum=5e-4)
+        samples = self._samples(model)
+        # E[minimum + Exp(mean)] = minimum + mean; CLT tolerance ~ 3σ/√N.
+        expected = 5e-4 + 2e-3
+        assert samples.mean() == pytest.approx(expected, rel=0.05)
+        assert samples.min() >= 5e-4
+
+    def test_exponential_std_matches_mean_parameter(self):
+        model = ExponentialDelay(mean=2e-3, minimum=0.0)
+        samples = self._samples(model)
+        assert samples.std() == pytest.approx(2e-3, rel=0.1)
+
+    def test_lognormal_median_and_mean_within_tolerance(self):
+        model = LogNormalDelay(median=1e-3, sigma=0.5)
+        samples = self._samples(model)
+        assert np.median(samples) == pytest.approx(1e-3, rel=0.05)
+        # E[LogNormal(ln m, σ)] = m · exp(σ²/2)
+        assert samples.mean() == pytest.approx(1e-3 * np.exp(0.125), rel=0.05)
+
+    @pytest.mark.parametrize("model", [
+        ConstantDelay(delay=1e-3, bandwidth_bytes_per_second=1e6),
+        ExponentialDelay(mean=1e-3, bandwidth_bytes_per_second=1e6),
+        LogNormalDelay(median=1e-3, bandwidth_bytes_per_second=1e6),
+    ])
+    def test_bandwidth_term_is_additive(self, model):
+        """sample() == latency() + size/bandwidth for identical rng states."""
+        size = 500_000  # 0.5 s transfer at 1 MB/s
+        latency = model.latency(np.random.default_rng(7), "a", "b")
+        total = model.sample(np.random.default_rng(7), "a", "b", size)
+        assert total == pytest.approx(latency + size / 1e6)
+
+
 class TestMessage:
     def test_size_accounts_for_payload(self):
         message = Message("a", "b", MessageKind.MODEL_TO_WORKER, 0, np.zeros(1000))
@@ -148,6 +191,28 @@ class TestNetworkSimulator:
         sim.collect_quorum("w", MessageKind.MODEL_TO_WORKER, 0, quorum=1)
         with pytest.raises(RuntimeError):
             sim.collect_quorum("w", MessageKind.MODEL_TO_WORKER, 0, quorum=1)
+
+    def test_late_discard_only_touches_collected_kind_and_step(self):
+        """The discard rule (paper Fig. 2) empties exactly one (kind, step)
+        bucket: slower senders of that step are gone, other steps and kinds
+        stay buffered."""
+        sim = self._sim()
+        for index, sender in enumerate(["s0", "s1", "s2"]):
+            sim.send(sender, "w", MessageKind.MODEL_TO_WORKER, 0,
+                     np.zeros(1), send_time=float(index))
+        sim.send("s0", "w", MessageKind.MODEL_TO_WORKER, 1, np.zeros(1), 0.0)
+        sim.send("s0", "w", MessageKind.GRADIENT_TO_SERVER, 0, np.zeros(1), 0.0)
+
+        record = sim.collect_quorum("w", MessageKind.MODEL_TO_WORKER, 0,
+                                    quorum=2)
+        assert record.senders == ["s0", "s1"]   # s2 arrived too late
+        # s2's message was discarded with the bucket ...
+        assert sim.pending_count("w") == 2
+        # ... while step 1 and the other kind are still collectable.
+        assert sim.collect_quorum("w", MessageKind.MODEL_TO_WORKER, 1,
+                                  quorum=1).senders == ["s0"]
+        assert sim.collect_quorum("w", MessageKind.GRADIENT_TO_SERVER, 0,
+                                  quorum=1).senders == ["s0"]
 
     def test_delay_override_for_byzantine_fast_channel(self):
         sim = self._sim()

@@ -1,6 +1,5 @@
 """Integration tests for the single-server baselines (vanilla TF / Krum)."""
 
-import numpy as np
 import pytest
 
 from repro import SingleServerKrumTrainer, VanillaTrainer
