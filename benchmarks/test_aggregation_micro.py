@@ -9,7 +9,12 @@ Table 1 model's dimensionality and check the expected cost ordering.
 import numpy as np
 import pytest
 
-from repro.aggregation import ArithmeticMean, CoordinateWiseMedian, MultiKrum
+from repro.aggregation import (
+    ArithmeticMean,
+    CoordinateWiseMedian,
+    GeometricMedian,
+    MultiKrum,
+)
 from repro.aggregation.krum import pairwise_squared_distances
 from repro.core.nodes import max_pairwise_distance
 
@@ -40,6 +45,20 @@ def test_multi_krum_aggregation_speed(benchmark, gradient_cloud):
     rule = MultiKrum(num_byzantine=5)
     out = benchmark(rule, gradient_cloud)
     assert out.shape == (DIMENSION,)
+
+
+def test_geometric_median_aggregation_speed(benchmark, gradient_cloud):
+    """The iterative rule's overhead is only comparable at equal accuracy.
+
+    The ``converged``/``iterations`` diagnostics guarantee the timing below
+    measures a *converged* Weiszfeld run — an unconverged rule would look
+    artificially fast and poison the overhead comparison.
+    """
+    rule = GeometricMedian(num_byzantine=1)
+    out = benchmark(rule, gradient_cloud)
+    assert out.shape == (DIMENSION,)
+    assert rule.converged is True
+    assert 0 < rule.iterations <= rule.max_iterations
 
 
 # --------------------------------------------------------------------------- #

@@ -13,10 +13,20 @@ baseline), Krum, the trimmed mean, Bulyan and the geometric median so that
 the ablation benchmarks can swap the rules at each aggregation point.
 """
 
-from repro.aggregation.base import GradientAggregationRule, check_vectors
+from repro.aggregation.base import (
+    GradientAggregationRule,
+    check_vectors,
+    check_vectors_batched,
+)
 from repro.aggregation.mean import ArithmeticMean, TrimmedMean
 from repro.aggregation.median import CoordinateWiseMedian, MarginalMedian
-from repro.aggregation.krum import Krum, MultiKrum, krum_scores
+from repro.aggregation.krum import (
+    Krum,
+    MultiKrum,
+    krum_scores,
+    krum_scores_batched,
+    pairwise_squared_distances_batched,
+)
 from repro.aggregation.bulyan import Bulyan
 from repro.aggregation.geometric_median import GeometricMedian
 from repro.aggregation.registry import available_rules, get_rule, register_rule
@@ -29,6 +39,7 @@ from repro.aggregation.resilience import (
 __all__ = [
     "GradientAggregationRule",
     "check_vectors",
+    "check_vectors_batched",
     "ArithmeticMean",
     "TrimmedMean",
     "CoordinateWiseMedian",
@@ -36,6 +47,8 @@ __all__ = [
     "Krum",
     "MultiKrum",
     "krum_scores",
+    "krum_scores_batched",
+    "pairwise_squared_distances_batched",
     "Bulyan",
     "GeometricMedian",
     "get_rule",

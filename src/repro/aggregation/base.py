@@ -9,6 +9,27 @@ import numpy as np
 VectorList = Union[Sequence[np.ndarray], np.ndarray]
 
 
+def check_vectors_batched(stacked: np.ndarray) -> np.ndarray:
+    """Validate an ``(R, n, d)`` replica-stacked aggregation input.
+
+    ``R`` is the replica axis of the batched runtime
+    (:mod:`repro.batch`): replica ``r`` holds the ``n`` vectors that one
+    independent simulation would have aggregated.  The same NaN/Inf rule as
+    :func:`check_vectors` applies to the whole stack.
+    """
+    stacked = np.asarray(stacked, dtype=np.float64)
+    if stacked.ndim != 3:
+        raise ValueError(
+            f"batched aggregation expects an (R, n, d) stack, got shape "
+            f"{stacked.shape}"
+        )
+    if stacked.shape[0] == 0:
+        raise ValueError("batched aggregation needs at least one replica")
+    if not np.all(np.isfinite(stacked)):
+        raise ValueError("aggregation input contains NaN or Inf values")
+    return stacked
+
+
 def check_vectors(vectors: VectorList) -> np.ndarray:
     """Validate and stack a list of vectors into an ``(n, d)`` array.
 
@@ -84,6 +105,40 @@ class GradientAggregationRule:
     def aggregate(self, vectors: VectorList) -> np.ndarray:
         """Alias of :meth:`__call__` for readability at call sites."""
         return self(vectors)
+
+    # ------------------------------------------------------------------ #
+    # Batched (multi-replica) code path
+    # ------------------------------------------------------------------ #
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        """Aggregate a validated ``(R, n, d)`` stack into ``(R, d)``.
+
+        The default runs the sequential rule once per replica, which is
+        always correct; rules with a vectorised formulation override this.
+        Every override must be **bit-identical** to the per-replica loop —
+        the batched runtime's equivalence guarantee rests on it, and
+        ``tests/test_aggregation_batched.py`` enforces it for every
+        registered rule.
+        """
+        return np.stack([self._aggregate(replica) for replica in stacked])
+
+    def aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        """Aggregate ``R`` independent replicas in one call.
+
+        Parameters
+        ----------
+        stacked:
+            Array of shape ``(R, n, d)``: for each of ``R`` replicas, the
+            ``n`` vectors to aggregate.  Equivalent to ``R`` calls of
+            :meth:`aggregate` on the ``(n, d)`` slices, but vectorised over
+            the leading replica axis where the rule supports it.
+        """
+        stacked = check_vectors_batched(stacked)
+        if stacked.shape[1] < self.minimum_inputs():
+            raise ValueError(
+                f"{self.name} with f={self.num_byzantine} requires at least "
+                f"{self.minimum_inputs()} inputs, got {stacked.shape[1]}"
+            )
+        return self._aggregate_batched(stacked)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(num_byzantine={self.num_byzantine})"

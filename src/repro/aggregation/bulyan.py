@@ -28,12 +28,10 @@ class Bulyan(GradientAggregationRule):
     def minimum_inputs(self) -> int:
         return 4 * self.num_byzantine + 3
 
-    def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
+    def _select(self, stacked: np.ndarray) -> list:
+        """Iterated Krum selection: indices of the ``n − 2f`` chosen inputs."""
         f = self.num_byzantine
         n = stacked.shape[0]
-        if f == 0:
-            return stacked.mean(axis=0)
-
         selection_size = n - 2 * f
         remaining = list(range(n))
         selected = []
@@ -48,13 +46,38 @@ class Bulyan(GradientAggregationRule):
                 choice_local = int(np.argmin(np.linalg.norm(subset, axis=1)))
             choice = remaining.pop(choice_local)
             selected.append(choice)
+        return selected
 
-        chosen = stacked[selected]
-        beta = chosen.shape[0] - 2 * f
-        if beta < 1:
-            beta = 1
+    @staticmethod
+    def _trimmed_coordinate_mean(chosen: np.ndarray, beta: int) -> np.ndarray:
+        """Per coordinate, average the ``beta`` values closest to the median."""
         median = np.median(chosen, axis=0)
         distances = np.abs(chosen - median)
         closest = np.argsort(distances, axis=0, kind="stable")[:beta]
         columns = np.arange(chosen.shape[1])
         return chosen[closest, columns].mean(axis=0)
+
+    def _beta(self, selection_size: int) -> int:
+        return max(selection_size - 2 * self.num_byzantine, 1)
+
+    def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
+        f = self.num_byzantine
+        if f == 0:
+            return stacked.mean(axis=0)
+        chosen = stacked[self._select(stacked)]
+        return self._trimmed_coordinate_mean(chosen, self._beta(chosen.shape[0]))
+
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        f = self.num_byzantine
+        if f == 0:
+            return stacked.mean(axis=1)
+        # The iterated selection is inherently sequential per replica (each
+        # round's pool depends on the previous choice), so it stays a loop;
+        # the final per-coordinate trim is vectorised over the replica axis.
+        chosen = np.stack([replica[self._select(replica)] for replica in stacked])
+        beta = self._beta(chosen.shape[1])
+        median = np.median(chosen, axis=1)
+        distances = np.abs(chosen - median[:, None, :])
+        closest = np.argsort(distances, axis=1, kind="stable")[:, :beta]
+        gathered = np.take_along_axis(chosen, closest, axis=1)
+        return gathered.mean(axis=1)

@@ -36,6 +36,22 @@ def pairwise_squared_distances(stacked: np.ndarray) -> np.ndarray:
     return np.maximum(squared, 0.0)
 
 
+def pairwise_squared_distances_batched(stacked: np.ndarray) -> np.ndarray:
+    """Batched Gram kernel: ``(R, n, d)`` stack → ``(R, n, n)`` distances.
+
+    Replica slice ``r`` is bit-identical to
+    ``pairwise_squared_distances(stacked[r])``: the stacked matmul runs the
+    same GEMM per slice and the broadcasting arithmetic is elementwise.
+    """
+    stacked = np.asarray(stacked, dtype=np.float64)
+    norms = np.einsum("rij,rij->ri", stacked, stacked)
+    squared = (norms[:, :, None] + norms[:, None, :]
+               - 2.0 * (stacked @ stacked.transpose(0, 2, 1)))
+    diagonal = np.arange(stacked.shape[1])
+    squared[:, diagonal, diagonal] = 0.0
+    return np.maximum(squared, 0.0)
+
+
 def krum_scores(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
     """Compute the Krum score of every input vector.
 
@@ -55,6 +71,21 @@ def krum_scores(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
     return nearest.sum(axis=1)
 
 
+def krum_scores_batched(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
+    """Krum scores of an ``(R, n, d)`` replica stack, shape ``(R, n)``."""
+    n = stacked.shape[1]
+    num_neighbors = n - num_byzantine - 2
+    if num_neighbors < 1:
+        raise ValueError(
+            f"Krum requires n - f - 2 >= 1 (got n={n}, f={num_byzantine})"
+        )
+    squared = pairwise_squared_distances_batched(stacked)
+    diagonal = np.arange(n)
+    squared[:, diagonal, diagonal] = np.inf
+    nearest = np.sort(squared, axis=2)[:, :, :num_neighbors]
+    return nearest.sum(axis=2)
+
+
 class Krum(GradientAggregationRule):
     """Krum: output the single input with the smallest score."""
 
@@ -67,6 +98,11 @@ class Krum(GradientAggregationRule):
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         scores = krum_scores(stacked, self.num_byzantine)
         return stacked[int(np.argmin(scores))].copy()
+
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        scores = krum_scores_batched(stacked, self.num_byzantine)
+        winners = np.argmin(scores, axis=1)
+        return stacked[np.arange(stacked.shape[0]), winners].copy()
 
     def select(self, stacked: np.ndarray) -> int:
         """Return the index of the selected input (used by Bulyan)."""
@@ -114,3 +150,10 @@ class MultiKrum(GradientAggregationRule):
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         indices = self.selected_indices(stacked)
         return stacked[indices].mean(axis=0)
+
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        scores = krum_scores_batched(stacked, self.num_byzantine)
+        size = self.selection_size(stacked.shape[1])
+        indices = np.argsort(scores, axis=1, kind="stable")[:, :size]
+        chosen = np.take_along_axis(stacked, indices[:, :, None], axis=1)
+        return chosen.mean(axis=1)

@@ -22,6 +22,9 @@ class ArithmeticMean(GradientAggregationRule):
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         return stacked.mean(axis=0)
 
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        return stacked.mean(axis=1)
+
 
 class TrimmedMean(GradientAggregationRule):
     """Coordinate-wise trimmed mean.
@@ -42,3 +45,10 @@ class TrimmedMean(GradientAggregationRule):
             return stacked.mean(axis=0)
         ordered = np.sort(stacked, axis=0)
         return ordered[trim:-trim].mean(axis=0)
+
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        trim = self.num_byzantine
+        if trim == 0:
+            return stacked.mean(axis=1)
+        ordered = np.sort(stacked, axis=1)
+        return ordered[:, trim:-trim].mean(axis=1)

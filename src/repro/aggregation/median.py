@@ -34,6 +34,9 @@ class CoordinateWiseMedian(GradientAggregationRule):
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         return np.median(stacked, axis=0)
 
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        return np.median(stacked, axis=1)
+
 
 class MarginalMedian(GradientAggregationRule):
     """Coordinate-wise median restricted to the ``n - f`` smallest-norm inputs.
@@ -55,3 +58,11 @@ class MarginalMedian(GradientAggregationRule):
         norms = np.linalg.norm(stacked, axis=1)
         keep = np.argsort(norms)[: stacked.shape[0] - self.num_byzantine]
         return np.median(stacked[keep], axis=0)
+
+    def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
+        if self.num_byzantine == 0:
+            return np.median(stacked, axis=1)
+        norms = np.linalg.norm(stacked, axis=2)
+        keep = np.argsort(norms, axis=1)[:, : stacked.shape[1] - self.num_byzantine]
+        kept = np.take_along_axis(stacked, keep[:, :, None], axis=1)
+        return np.median(kept, axis=1)

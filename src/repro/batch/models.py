@@ -1,0 +1,172 @@
+"""Replica-batched forward/backward for the dense model zoo.
+
+The sequential runtime computes every worker gradient through the autograd
+graph (:mod:`repro.tensor`).  The batched runtime replaces that with a
+hand-derived forward/backward that adds one leading **replica axis** —
+parameters ``(R, D)``, activations ``(R, B, ...)`` — and is constructed to
+be **bit-identical** to the autograd path per replica slice:
+
+* every elementwise operation (shift, exp, log, ReLU mask, bias add) is the
+  same IEEE-754 expression evaluated per element;
+* every reduction (softmax normaliser, loss mean, bias gradient) reduces the
+  same number of elements along the same axis, which NumPy evaluates with
+  the same pairwise order per output element regardless of the extra
+  leading axis;
+* every matrix product is a stacked ``np.matmul``, which runs the identical
+  GEMM per replica slice.
+
+``tests/test_batch_equivalence.py`` pins this guarantee against the real
+trainers.  Only the dense models (``softmax``, ``mlp``) are supported — the
+convolutional models go through :class:`BatchingUnsupported` and the caller
+falls back to sequential execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.models import MLP, SoftmaxRegression
+from repro.nn.module import Module
+
+#: ``ScenarioSpec.model`` names the batched runtime can execute
+BATCHABLE_MODELS = ("softmax", "mlp")
+
+
+class BatchingUnsupported(Exception):
+    """The scenario cannot run on the batched runtime (caller falls back)."""
+
+
+def _forward_layers(template: Module) -> List[Module]:
+    """The template's layers in forward order, dense/ReLU only."""
+    if isinstance(template, SoftmaxRegression):
+        return [template.linear]
+    if isinstance(template, MLP):
+        return list(template.net.layers)
+    raise BatchingUnsupported(
+        f"model {type(template).__name__} has no replica-batched "
+        f"formulation; only dense stacks ({', '.join(BATCHABLE_MODELS)}) "
+        f"are supported")
+
+
+class BatchedDenseStack:
+    """Replica-batched view of a dense classifier (softmax / MLP).
+
+    Parameters are *not* stored here: every call takes a ``(R, D)`` stack of
+    flat parameter vectors (the replica-axis memory model of
+    :mod:`repro.batch`) and slices it into per-layer weight/bias views using
+    the template's flat layout, so the batched trainer can keep one
+    contiguous array per server and per worker aggregation.
+    """
+
+    def __init__(self, template: Module) -> None:
+        self.num_parameters = template.num_parameters()
+        self._plan: List[Tuple] = []
+        offset = 0
+        for layer in _forward_layers(template):
+            if isinstance(layer, Dense):
+                if layer.bias is None:
+                    raise BatchingUnsupported(
+                        "dense layers without bias are not used by the model "
+                        "zoo and have no batched formulation")
+                in_f, out_f = layer.in_features, layer.out_features
+                w_slice = slice(offset, offset + in_f * out_f)
+                offset += in_f * out_f
+                b_slice = slice(offset, offset + out_f)
+                offset += out_f
+                self._plan.append(("dense", in_f, out_f, w_slice, b_slice))
+            elif isinstance(layer, ReLU):
+                self._plan.append(("relu",))
+            else:
+                raise BatchingUnsupported(
+                    f"layer {type(layer).__name__} has no replica-batched "
+                    f"formulation")
+        if offset != self.num_parameters:
+            raise BatchingUnsupported(
+                "flat-parameter layout does not match the dense plan")
+
+    # ------------------------------------------------------------------ #
+    def forward_logits(self, flat: np.ndarray, features: np.ndarray,
+                       caches: list = None) -> np.ndarray:
+        """Logits ``(R, B, C)`` for parameters ``(R, D)``, inputs ``(R, B, …)``.
+
+        When ``caches`` is a list it receives the per-layer values the
+        backward pass needs (layer inputs, weight views, ReLU masks).
+        """
+        hidden = features
+        if hidden.ndim > 3:  # image input: flatten like the sequential models
+            hidden = hidden.reshape(hidden.shape[0], hidden.shape[1], -1)
+        for entry in self._plan:
+            if entry[0] == "dense":
+                _, in_f, out_f, w_slice, b_slice = entry
+                weight = flat[:, w_slice].reshape(-1, in_f, out_f)
+                bias = flat[:, b_slice]
+                if caches is not None:
+                    caches.append((hidden, weight))
+                hidden = hidden @ weight
+                hidden = hidden + bias[:, None, :]
+            else:  # relu
+                mask = (hidden > 0).astype(np.float64)
+                if caches is not None:
+                    caches.append(mask)
+                hidden = hidden * mask
+        return hidden
+
+    def forward_backward(self, flat: np.ndarray, features: np.ndarray,
+                         labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Cross-entropy losses ``(R,)`` and flat gradients ``(R, D)``.
+
+        Mirrors ``WorkerNode.compute_gradient``'s autograd tape op by op:
+        stable log-softmax (max-shift, exp, sum, log), NLL mean, and the
+        reverse sweep through the dense stack.
+        """
+        flat = np.asarray(flat, dtype=np.float64)
+        caches: list = []
+        logits = self.forward_logits(flat, features, caches)
+        replicas, batch, _ = logits.shape
+
+        shift = logits.max(axis=2, keepdims=True)
+        shifted = logits - shift
+        exps = np.exp(shifted)
+        normaliser = exps.sum(axis=2, keepdims=True)
+        log_norm = np.log(normaliser)
+        log_probs = shifted - log_norm
+
+        lanes = np.arange(replicas)[:, None]
+        rows = np.arange(batch)[None, :]
+        picked = log_probs[lanes, rows, labels]
+        losses = -(picked.sum(axis=1) * (1.0 / batch))
+
+        # Backward: d(loss)/d(log_probs) is −1/B at the target entries; the
+        # log-softmax pullback adds softmax/B (computed exactly as the tape
+        # does: the log/sum/exp chain, not a fused softmax).
+        picked_grad = -1.0 * (1.0 / batch)
+        d_log_probs = np.zeros_like(log_probs)
+        d_log_probs[lanes, rows, labels] = picked_grad
+        d_log_norm = -(d_log_probs.sum(axis=2, keepdims=True))
+        d_normaliser = d_log_norm / normaliser
+        d_shifted = d_log_probs + d_normaliser * exps
+        d_hidden = d_shifted  # the max-shift is a constant under the tape
+
+        grads: List[np.ndarray] = [None] * len(self._plan)
+        for index in range(len(self._plan) - 1, -1, -1):
+            entry = self._plan[index]
+            if entry[0] == "dense":
+                layer_in, weight = caches[index]
+                bias_grad = d_hidden.sum(axis=1)
+                weight_grad = layer_in.transpose(0, 2, 1) @ d_hidden
+                grads[index] = (weight_grad, bias_grad)
+                if index > 0:  # the batch input needs no gradient
+                    d_hidden = d_hidden @ weight.transpose(0, 2, 1)
+            else:  # relu
+                d_hidden = d_hidden * caches[index]
+
+        pieces = []
+        for entry, grad in zip(self._plan, grads):
+            if entry[0] == "dense":
+                weight_grad, bias_grad = grad
+                pieces.append(weight_grad.reshape(replicas, -1))
+                pieces.append(bias_grad)
+        return losses, np.concatenate(pieces, axis=1)

@@ -1,0 +1,705 @@
+"""Vectorised multi-replica GuanYu runtime.
+
+:class:`BatchedGuanYuTrainer` executes ``R`` seeds of **one** scenario in a
+single process by stacking every per-replica quantity along a leading
+replica axis:
+
+* server parameters are ``(R, D)`` arrays (one row per replica),
+* the vectors entering an aggregation are ``(R, n, D)`` stacks routed
+  through :meth:`GradientAggregationRule.aggregate_batched`,
+* worker gradients come from the replica-batched dense stack
+  (:mod:`repro.batch.models`),
+* simulated clocks and message delivery times are ``(R,)`` arrays.
+
+Everything that must differ per replica stays per replica: each lane owns
+the delay generator the sequential :class:`NetworkSimulator` would have
+used (seeded with the replica's seed and consumed in the identical order),
+its own data loaders, attack instances and attack generators, and its own
+:class:`~repro.faults.FaultController` for probabilistic drop decisions.
+The result is **bit-identical per seed** to running the scenario through
+:class:`~repro.core.trainer.GuanYuTrainer` — the tier-1 equivalence test
+(``tests/test_batch_equivalence.py``) compares full histories.
+
+Scenarios the batched formulation cannot express (convolutional models,
+non-``guanyu`` trainers) raise :class:`BatchingUnsupported`; transient
+conditions a single replica would have failed on (quorum starvation under
+heavy message loss) raise :class:`BatchedExecutionError`.  The campaign
+engine responds to either by falling back to sequential execution, so
+``--batch-seeds`` is always safe to request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.aggregation import get_rule
+from repro.batch.models import (
+    BATCHABLE_MODELS,
+    BatchedDenseStack,
+    BatchingUnsupported,
+)
+from repro.core.nodes import (
+    GradientResult,
+    apply_server_attack,
+    apply_worker_attack,
+    max_pairwise_distance,
+    poison_worker_batch,
+)
+from repro.core.trainer import attacking_node_ids, validate_attack_counts
+from repro.data.loader import DataLoader, shard_dataset
+from repro.faults import FaultController
+from repro.metrics.accuracy import evaluate_accuracy
+from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.network.message import MessageKind
+
+
+class BatchedExecutionError(RuntimeError):
+    """A replica hit a condition the batched runtime cannot isolate.
+
+    The campaign engine catches this and re-runs the affected scenarios
+    sequentially, where per-scenario failure isolation applies.
+    """
+
+
+def spec_supports_batching(spec) -> bool:
+    """Whether a :class:`ScenarioSpec` can run on the batched runtime."""
+    return spec.trainer == "guanyu" and spec.model in BATCHABLE_MODELS
+
+
+def _seedless_payload(spec) -> Dict:
+    payload = spec.to_dict()
+    payload.pop("name")
+    payload.pop("seed")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Per-replica state
+# --------------------------------------------------------------------------- #
+class _Lane:
+    """Everything that is private to one replica."""
+
+    __slots__ = ("spec", "seed", "test_dataset", "eval_model", "loaders",
+                 "worker_rngs", "server_rngs", "worker_attacks",
+                 "server_attacks", "delay_rng", "fault_controller", "history")
+
+    def __init__(self) -> None:
+        self.fault_controller: Optional[FaultController] = None
+
+
+class _PhaseBuffer:
+    """Vectorised mailboxes of one protocol phase.
+
+    ``times[j, s, r]`` is the delivery time of sender ``s``'s message to
+    recipient ``j`` in replica ``r`` (``inf`` when suppressed or silent).
+    Honest payloads are stored once per sender (``(R, D)``); Byzantine
+    equivocation stores a per-``(recipient, sender)`` override.  Quorum
+    collection replays the sequential simulator's rule exactly: messages
+    are ranked by delivery time with ties broken by send order, which the
+    stable argsort over the send-ordered sender axis reproduces.
+    """
+
+    def __init__(self, num_recipients: int, num_senders: int,
+                 num_replicas: int, dimension: int) -> None:
+        self.times = np.full((num_recipients, num_senders, num_replicas),
+                             np.inf)
+        self.payloads = np.zeros((num_senders, num_replicas, dimension))
+        self._overrides: Dict[int, Dict[int, np.ndarray]] = {}
+        self._num_replicas = num_replicas
+
+    def add_broadcast(self, sender_index: int, payload: np.ndarray,
+                      delivered: np.ndarray, times: np.ndarray) -> None:
+        """Record one honest broadcast: same payload to every recipient."""
+        self.payloads[sender_index] = payload
+        self.times[:, sender_index, :] = np.where(delivered, times, np.inf)
+
+    def add_directed(self, recipient_index: int, sender_index: int,
+                     payload_rows: np.ndarray, present: np.ndarray,
+                     times: np.ndarray) -> None:
+        """Record one per-recipient (possibly equivocating) send.
+
+        ``present`` marks replicas whose attack produced a message at all
+        (silent replicas deliver nothing); ``payload_rows`` is ``(R, D)``
+        with arbitrary content on silent rows.
+        """
+        self.times[recipient_index, sender_index, :] = np.where(
+            present, times, np.inf)
+        self._overrides.setdefault(recipient_index, {})[sender_index] = \
+            payload_rows
+
+    def collect(self, recipient_index: int, recipient_id: str, quorum: int,
+                not_before: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """First-``quorum`` payload stack ``(R, q, D)`` and completion times."""
+        times = self.times[recipient_index]  # (S, R)
+        order = np.argsort(times, axis=0, kind="stable")
+        selected = order[:quorum]  # (q, R)
+        lanes = np.arange(times.shape[1])
+        if not np.all(np.isfinite(times[selected, lanes[None, :]])):
+            starved = np.nonzero(
+                ~np.isfinite(times[selected[quorum - 1], lanes]))[0]
+            raise BatchedExecutionError(
+                f"replica(s) {starved.tolist()}: {recipient_id} needed a "
+                f"quorum of {quorum} messages but fewer senders delivered; "
+                f"falling back to sequential execution")
+        completion = np.maximum(not_before,
+                                times[selected[quorum - 1], lanes])
+        stacked = self.payloads[selected, lanes[None, :], :]  # (q, R, D)
+        for sender_index, rows in self._overrides.get(recipient_index,
+                                                      {}).items():
+            hits = selected == sender_index
+            if hits.any():
+                row_pos, lane_pos = np.nonzero(hits)
+                stacked[row_pos, lane_pos] = rows[lane_pos]
+        return stacked.transpose(1, 0, 2), completion
+
+
+# --------------------------------------------------------------------------- #
+# The batched trainer
+# --------------------------------------------------------------------------- #
+class BatchedGuanYuTrainer:
+    """Run ``R`` seeds of one GuanYu scenario in lock-step, vectorised.
+
+    Parameters
+    ----------
+    specs:
+        Validated :class:`~repro.campaign.spec.ScenarioSpec` instances that
+        are identical except for ``name`` and ``seed`` — one per replica.
+        Replica ``r`` reproduces, bit for bit, the history the sequential
+        trainer produces for ``specs[r]``.
+
+    Raises
+    ------
+    BatchingUnsupported
+        For scenarios outside the batched envelope (non-``guanyu`` trainer,
+        convolutional model).
+    ValueError
+        For specs that differ in anything but name/seed, or fail the same
+        admissibility checks the sequential trainer applies.
+    """
+
+    def __init__(self, specs: Sequence) -> None:
+        specs = list(specs)
+        if not specs:
+            raise ValueError("need at least one scenario spec")
+        base = specs[0]
+        if not spec_supports_batching(base):
+            raise BatchingUnsupported(
+                f"trainer '{base.trainer}' / model '{base.model}' has no "
+                f"batched formulation")
+        reference = _seedless_payload(base)
+        for spec in specs[1:]:
+            if _seedless_payload(spec) != reference:
+                raise ValueError(
+                    "batched execution requires scenarios that differ only "
+                    "in seed (and name)")
+
+        self.specs = specs
+        self.num_replicas = len(specs)
+        self.config = base.cluster_config()
+        self.gradient_rule_name = base.gradient_rule
+        self.model_rule_name = base.model_rule
+        self.cost_model = base.build_cost_model()
+        self.delay_model = base.build_delay_model()
+        self.schedule = None  # set from the first lane bundle below
+
+        self.worker_ids = self.config.worker_ids()
+        self.server_ids = self.config.server_ids()
+        num_attacking_workers = base.resolved_num_attacking_workers()
+        num_attacking_servers = base.resolved_num_attacking_servers()
+        self.attacking_workers = attacking_node_ids(self.worker_ids,
+                                                    num_attacking_workers)
+        self.attacking_servers = attacking_node_ids(self.server_ids,
+                                                    num_attacking_servers)
+
+        self.gradient_rule = get_rule(
+            self.gradient_rule_name,
+            num_byzantine=self.config.num_byzantine_workers)
+        self.model_rule = get_rule(
+            self.model_rule_name,
+            num_byzantine=self.config.num_byzantine_servers)
+
+        self.lanes: List[_Lane] = []
+        template = None
+        for spec in specs:
+            lane, lane_template = self._build_lane(spec)
+            self.lanes.append(lane)
+            if template is None:
+                template = lane_template
+
+        self.dense_stack = BatchedDenseStack(template)
+        self.num_parameters = template.num_parameters()
+        self.billed_parameters = (base.billed_parameters
+                                  if base.billed_parameters
+                                  else self.num_parameters)
+        self._message_bytes = 64 + 4 * self.num_parameters
+        self._serialization = self.cost_model.serialization_time(
+            self.billed_parameters)
+        self.has_faults = base.faults is not None
+        if self.has_faults:
+            base.faults.validate(known_nodes=self.worker_ids + self.server_ids)
+        # With no probabilistic drops, every fault decision is a pure
+        # function of (schedule, step) — judge lane 0 once and share it.
+        self._lane_invariant_faults = self.has_faults and \
+            base.faults.drop_rate == 0 and \
+            not any(event.kind == "drop_rate" for event in base.faults.events)
+
+        # θ stack: server axis × replica axis × parameter axis.  Every
+        # replica starts all of its servers from that replica's θ0.
+        theta0 = np.stack([lane.eval_model.get_flat_parameters()
+                           for lane in self.lanes])  # (R, D)
+        self.theta = np.broadcast_to(
+            theta0, (len(self.server_ids),) + theta0.shape).copy()
+        self.worker_clock = np.zeros((len(self.worker_ids),
+                                      self.num_replicas))
+        self.server_clock = np.zeros((len(self.server_ids),
+                                      self.num_replicas))
+
+        self._correct_server_idx = [
+            index for index, server_id in enumerate(self.server_ids)
+            if server_id not in self.attacking_servers]
+
+        shared_config = {
+            **self.config.as_dict(),
+            "batch_size": base.batch_size,
+            "gradient_rule": self.gradient_rule_name,
+            "model_rule": self.model_rule_name,
+            "num_attacking_workers": num_attacking_workers,
+            "num_attacking_servers": num_attacking_servers,
+            "worker_attack": (base.worker_attack.name
+                              if base.worker_attack else None),
+            "server_attack": (base.server_attack.name
+                              if base.server_attack else None),
+            "faults": base.faults.to_dict() if base.faults else None,
+        }
+        for lane in self.lanes:
+            lane.history.config = dict(shared_config)
+
+    # ------------------------------------------------------------------ #
+    def _build_lane(self, spec) -> Tuple[_Lane, object]:
+        from repro.experiments.common import (  # lazy: avoids import cycle
+            build_scale_bundle,
+        )
+
+        lane = _Lane()
+        lane.spec = spec
+        lane.seed = spec.seed
+        train, test, model_fn, schedule = build_scale_bundle(spec.to_scale())
+        if self.schedule is None:
+            self.schedule = schedule
+        lane.test_dataset = test
+        lane.eval_model = model_fn()
+        lane.delay_rng = np.random.default_rng(spec.seed)
+        if spec.faults is not None:
+            lane.fault_controller = FaultController(spec.faults,
+                                                    seed=spec.seed)
+
+        worker_attack = (spec.worker_attack.build()
+                         if spec.worker_attack else None)
+        server_attack = (spec.server_attack.build()
+                         if spec.server_attack else None)
+        validate_attack_counts(self.config, worker_attack,
+                               spec.resolved_num_attacking_workers(),
+                               server_attack,
+                               spec.resolved_num_attacking_servers())
+
+        shards = shard_dataset(train, len(self.worker_ids),
+                               strategy=spec.sharding, seed=spec.seed)
+        lane.loaders = [
+            DataLoader(shards[index], batch_size=spec.batch_size,
+                       seed=spec.seed + 1000 + index)
+            for index in range(len(self.worker_ids))]
+        lane.worker_rngs = [np.random.default_rng(spec.seed + 2000 + index)
+                            for index in range(len(self.worker_ids))]
+        lane.server_rngs = [np.random.default_rng(spec.seed + 3000 + index)
+                            for index in range(len(self.server_ids))]
+
+        lane.worker_attacks = {
+            worker_id: (worker_attack
+                        if worker_id in self.attacking_workers else None)
+            for worker_id in self.worker_ids}
+        lane.server_attacks = {
+            server_id: (server_attack
+                        if server_id in self.attacking_servers else None)
+            for server_id in self.server_ids}
+        if lane.fault_controller is not None:
+            for node_id in [*self.worker_ids, *self.server_ids]:
+                attacks = (lane.worker_attacks if node_id in
+                           lane.worker_attacks else lane.server_attacks)
+                attacks[node_id] = lane.fault_controller.gate_attack(
+                    node_id, attacks[node_id])
+
+        lane.history = TrainingHistory(label=spec.name)
+        return lane, lane.eval_model
+
+    # ------------------------------------------------------------------ #
+    # Fault / delay plumbing (per logical message, vectorised over lanes)
+    # ------------------------------------------------------------------ #
+    def _judge(self, sender: str, recipients: Sequence[str], kind: str,
+               step: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(delivered (n, R), factor (n,), extra (n,))`` for one broadcast.
+
+        Crash/partition suppression and link slow-downs are pure functions
+        of ``(schedule, step)`` — identical across replicas; only the
+        probabilistic drop decision differs per lane (hash-based sampling
+        keyed by the lane seed, exactly as the sequential controller).
+        """
+        count = len(recipients)
+        if not self.has_faults:
+            return (np.ones((count, self.num_replicas), dtype=bool),
+                    np.ones(count), np.zeros(count))
+        delivered = np.zeros((count, self.num_replicas), dtype=bool)
+        factor = np.ones(count)
+        extra = np.zeros(count)
+        for j, recipient in enumerate(recipients):
+            if self._lane_invariant_faults:
+                decision = self.lanes[0].fault_controller.on_send(
+                    sender, recipient, kind, step)
+                delivered[j, :] = decision.deliver
+                if decision.deliver:
+                    factor[j] = decision.delay_factor
+                    extra[j] = decision.extra_delay
+                continue
+            for r, lane in enumerate(self.lanes):
+                decision = lane.fault_controller.on_send(sender, recipient,
+                                                         kind, step)
+                delivered[j, r] = decision.deliver
+                if decision.deliver:
+                    factor[j] = decision.delay_factor
+                    extra[j] = decision.extra_delay
+        return delivered, factor, extra
+
+    def _broadcast_times(self, sender: str, recipients: Sequence[str],
+                         kind: MessageKind, step: int, send_time: np.ndarray,
+                         skip_draw: Optional[Set[int]] = None,
+                         override: Optional[float] = None
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Delivery times ``(n, R)`` of one sender's messages to ``recipients``.
+
+        Replays the sequential send loop: per replica, one latency draw per
+        *delivered* message in recipient order (a single vectorised request
+        on the lane generator yields the identical subsequence).  Messages
+        with a delay override — Byzantine covert-channel sends
+        (``override=0.0``) and a server's message to itself
+        (``skip_draw``) — consume no randomness, exactly like the
+        sequential simulator.
+        """
+        delivered, factor, extra = self._judge(sender, recipients,
+                                               kind.value, step)
+        count = len(recipients)
+        delays = np.zeros((count, self.num_replicas))
+        if override is None:
+            draw_mask = np.ones(count, dtype=bool)
+            if skip_draw:
+                draw_mask[list(skip_draw)] = False
+            for r, lane in enumerate(self.lanes):
+                lane_mask = delivered[:, r] & draw_mask
+                draws = self.delay_model.sample_batch(
+                    lane.delay_rng, sender, None, self._message_bytes,
+                    int(lane_mask.sum()))
+                delays[lane_mask, r] = draws
+        else:
+            delays[:] = max(float(override), 0.0)
+        delays = delays * factor[:, None] + extra[:, None]
+        return delivered, send_time[None, :] + delays
+
+    # ------------------------------------------------------------------ #
+    # Protocol helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _mean_over_nodes(clock: np.ndarray, indices: List[int]) -> np.ndarray:
+        """Per-replica mean of ``clock[indices]`` — sequential-identical.
+
+        The sequential trainer means a 1-D list per replica, which NumPy
+        reduces with its pairwise base case; reducing the *outer* axis of a
+        2-D slice uses a different accumulation order once more than eight
+        nodes are involved.  Transposing to a contiguous last-axis
+        reduction restores the 1-D order bit for bit.
+        """
+        return np.mean(np.ascontiguousarray(clock[indices].T), axis=1)
+
+    def _participants(self, step: int) -> Tuple[Set[str], Set[str]]:
+        if not self.has_faults:
+            return set(self.worker_ids), set(self.server_ids)
+        workers, servers = self.lanes[0].fault_controller.participating_nodes(
+            self.worker_ids, self.server_ids, self.config.model_quorum,
+            self.config.gradient_quorum, step)
+        return set(workers), set(servers)
+
+    def _corrupt_models(self, server_index: int, step: int,
+                        recipient: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-lane Byzantine model payloads ``(R, D)`` + presence mask."""
+        server_id = self.server_ids[server_index]
+        payloads = np.zeros((self.num_replicas, self.num_parameters))
+        present = np.zeros(self.num_replicas, dtype=bool)
+        for r, lane in enumerate(self.lanes):
+            value = apply_server_attack(lane.server_attacks[server_id],
+                                        lane.server_rngs[server_index],
+                                        self.theta[server_index, r], step,
+                                        recipient=recipient)
+            if value is not None:
+                payloads[r] = value
+                present[r] = True
+        return payloads, present
+
+    # ------------------------------------------------------------------ #
+    def step(self, step_index: int) -> List[StepRecord]:
+        """One three-phase GuanYu step across all replicas.
+
+        Returns one :class:`StepRecord` per replica, bit-identical to the
+        record the sequential trainer produces for that replica's seed.
+        """
+        config = self.config
+        cost = self.cost_model
+        d = self.billed_parameters
+        serialization = self._serialization
+        replicas = self.num_replicas
+
+        if self.has_faults:
+            for lane in self.lanes:
+                lane.fault_controller.on_step(step_index)
+        active_workers, active_servers = self._participants(step_index)
+        if self.has_faults:
+            server_alive = self.lanes[0].fault_controller.alive_mask(
+                self.server_ids, step_index)
+        else:
+            server_alive = np.ones(len(self.server_ids), dtype=bool)
+        alive_correct_idx = [index for index in self._correct_server_idx
+                             if server_alive[index]]
+        if not alive_correct_idx:
+            raise RuntimeError(
+                f"fault schedule leaves no correct server alive at step "
+                f"{step_index}; the protocol cannot make progress")
+        phase_start = self.server_clock[alive_correct_idx].min(axis=0)
+
+        # ------------------------- Phase 1 ------------------------------ #
+        buffer1 = _PhaseBuffer(len(self.worker_ids), len(self.server_ids),
+                               replicas, self.num_parameters)
+        for s_index, server_id in enumerate(self.server_ids):
+            if server_id not in active_servers:
+                continue
+            if server_id in self.attacking_servers:
+                for w_index, worker_id in enumerate(self.worker_ids):
+                    payloads, present = self._corrupt_models(
+                        s_index, step_index, recipient=worker_id)
+                    delivered, times = self._broadcast_times(
+                        server_id, [worker_id], MessageKind.MODEL_TO_WORKER,
+                        step_index, phase_start, override=0.0)
+                    buffer1.add_directed(w_index, s_index, payloads,
+                                         present & delivered[0], times[0])
+            else:
+                send_time = self.server_clock[s_index] + serialization
+                delivered, times = self._broadcast_times(
+                    server_id, self.worker_ids, MessageKind.MODEL_TO_WORKER,
+                    step_index, send_time)
+                buffer1.add_broadcast(s_index, self.theta[s_index],
+                                      delivered, times)
+
+        gradient_stack: Dict[int, np.ndarray] = {}
+        loss_stack: Dict[int, np.ndarray] = {}
+        batch_sizes: Dict[int, int] = {}
+        active_worker_indices = [index for index, worker_id
+                                 in enumerate(self.worker_ids)
+                                 if worker_id in active_workers]
+        for w_index in active_worker_indices:
+            worker_id = self.worker_ids[w_index]
+            stacked, completion = buffer1.collect(
+                w_index, worker_id, config.model_quorum,
+                not_before=self.worker_clock[w_index])
+            aggregated = self.model_rule.aggregate_batched(stacked)
+
+            features_rows, labels_rows = [], []
+            for r, lane in enumerate(self.lanes):
+                features, labels = lane.loaders[w_index].next_batch()
+                features, labels = poison_worker_batch(
+                    lane.worker_attacks[worker_id],
+                    lane.worker_rngs[w_index], aggregated[r], step_index,
+                    features, labels)
+                features_rows.append(features)
+                labels_rows.append(np.asarray(labels, dtype=np.int64))
+            features_batch = np.stack(features_rows)
+            labels_batch = np.stack(labels_rows)
+
+            losses, gradients = self.dense_stack.forward_backward(
+                aggregated, features_batch, labels_batch)
+            gradient_stack[w_index] = gradients
+            loss_stack[w_index] = losses
+            batch_sizes[w_index] = labels_batch.shape[1]
+            compute_time = (cost.median_time(config.model_quorum, d)
+                            + cost.gradient_time(batch_sizes[w_index], d))
+            self.worker_clock[w_index] = completion + compute_time
+
+        alive_correct_worker_idx = [
+            index for index in active_worker_indices
+            if self.worker_ids[index] not in self.attacking_workers]
+        if alive_correct_worker_idx:
+            phase1_end = self._mean_over_nodes(self.worker_clock,
+                                               alive_correct_worker_idx)
+        else:
+            phase1_end = phase_start
+
+        # ------------------------- Phase 2 ------------------------------ #
+        peer_gradients = [
+            [gradient_stack[index][r] for index in alive_correct_worker_idx]
+            for r in range(replicas)]
+        buffer2 = _PhaseBuffer(len(self.server_ids), len(self.worker_ids),
+                               replicas, self.num_parameters)
+        for w_index in active_worker_indices:
+            worker_id = self.worker_ids[w_index]
+            if worker_id in self.attacking_workers:
+                for s_index, server_id in enumerate(self.server_ids):
+                    payloads = np.zeros((replicas, self.num_parameters))
+                    present = np.zeros(replicas, dtype=bool)
+                    for r, lane in enumerate(self.lanes):
+                        result = GradientResult(
+                            gradient=gradient_stack[w_index][r],
+                            loss=float(loss_stack[w_index][r]),
+                            batch_size=batch_sizes[w_index])
+                        value = apply_worker_attack(
+                            lane.worker_attacks[worker_id],
+                            lane.worker_rngs[w_index], result, step_index,
+                            peer_gradients=peer_gradients[r],
+                            recipient=server_id)
+                        if value is not None:
+                            payloads[r] = value
+                            present[r] = True
+                    delivered, times = self._broadcast_times(
+                        worker_id, [server_id],
+                        MessageKind.GRADIENT_TO_SERVER, step_index,
+                        phase_start, override=0.0)
+                    buffer2.add_directed(s_index, w_index, payloads,
+                                         present & delivered[0], times[0])
+            else:
+                send_time = self.worker_clock[w_index] + serialization
+                delivered, times = self._broadcast_times(
+                    worker_id, self.server_ids,
+                    MessageKind.GRADIENT_TO_SERVER, step_index, send_time)
+                buffer2.add_broadcast(w_index, gradient_stack[w_index],
+                                      delivered, times)
+
+        active_correct_server_idx = [
+            index for index in alive_correct_idx
+            if self.server_ids[index] in active_servers]
+        learning_rate = self.schedule(step_index)
+        for s_index in active_correct_server_idx:
+            stacked, completion = buffer2.collect(
+                s_index, self.server_ids[s_index], config.gradient_quorum,
+                not_before=self.server_clock[s_index])
+            aggregated = self.gradient_rule.aggregate_batched(stacked)
+            self.theta[s_index] = self.theta[s_index] \
+                - learning_rate * aggregated
+            compute_time = (cost.aggregation_time(self.gradient_rule_name,
+                                                  config.gradient_quorum, d)
+                            + cost.update_time(d))
+            self.server_clock[s_index] = completion + compute_time
+        phase2_end = self._mean_over_nodes(self.server_clock,
+                                           alive_correct_idx)
+
+        # ------------------------- Phase 3 ------------------------------ #
+        buffer3 = _PhaseBuffer(len(self.server_ids), len(self.server_ids),
+                               replicas, self.num_parameters)
+        for s_index, server_id in enumerate(self.server_ids):
+            if server_id not in active_servers:
+                continue
+            if server_id in self.attacking_servers:
+                for peer_index, peer_id in enumerate(self.server_ids):
+                    payloads, present = self._corrupt_models(
+                        s_index, step_index, recipient=peer_id)
+                    delivered, times = self._broadcast_times(
+                        server_id, [peer_id], MessageKind.MODEL_TO_SERVER,
+                        step_index, phase_start, override=0.0)
+                    buffer3.add_directed(peer_index, s_index, payloads,
+                                         present & delivered[0], times[0])
+            else:
+                send_time = self.server_clock[s_index] + serialization
+                delivered, times = self._broadcast_times(
+                    server_id, self.server_ids, MessageKind.MODEL_TO_SERVER,
+                    step_index, send_time, skip_draw={s_index})
+                buffer3.add_broadcast(s_index, self.theta[s_index].copy(),
+                                      delivered, times)
+
+        for s_index in active_correct_server_idx:
+            stacked, completion = buffer3.collect(
+                s_index, self.server_ids[s_index], config.model_quorum,
+                not_before=self.server_clock[s_index])
+            self.theta[s_index] = self.model_rule.aggregate_batched(stacked)
+            self.server_clock[s_index] = completion \
+                + cost.median_time(config.model_quorum, d)
+        phase3_end = self._mean_over_nodes(self.server_clock,
+                                           alive_correct_idx)
+
+        # ------------------------- Records ------------------------------ #
+        simulated_time = self.server_clock[alive_correct_idx].max(axis=0)
+        records = []
+        for r in range(replicas):
+            if alive_correct_worker_idx:
+                train_loss = float(np.mean(
+                    [loss_stack[index][r]
+                     for index in alive_correct_worker_idx]))
+            else:
+                train_loss = None
+            spread = max_pairwise_distance(
+                [self.theta[index, r] for index in self._correct_server_idx])
+            records.append(StepRecord(
+                step=step_index,
+                simulated_time=float(simulated_time[r]),
+                train_loss=train_loss,
+                max_server_spread=spread,
+                learning_rate=self.schedule(step_index),
+                phase_durations={
+                    "phase1_models_and_gradients":
+                        float(phase1_end[r] - phase_start[r]),
+                    "phase2_server_update":
+                        float(phase2_end[r] - phase1_end[r]),
+                    "phase3_server_exchange":
+                        float(phase3_end[r] - phase2_end[r]),
+                },
+            ))
+        return records
+
+    # ------------------------------------------------------------------ #
+    def global_parameters(self) -> np.ndarray:
+        """``(R, D)`` observer view: per-replica median of correct servers."""
+        return np.median(self.theta[self._correct_server_idx], axis=0)
+
+    def _evaluate(self, lane: _Lane, parameters: np.ndarray,
+                  max_samples: Optional[int]) -> float:
+        lane.eval_model.set_flat_parameters(parameters)
+        return evaluate_accuracy(lane.eval_model, lane.test_dataset,
+                                 max_samples=max_samples)
+
+    def run(self, num_steps: int, eval_every: int = 10,
+            max_eval_samples: Optional[int] = 512) -> List[TrainingHistory]:
+        """Run ``num_steps`` updates; returns one history per replica."""
+        if num_steps <= 0:
+            raise ValueError("num_steps must be positive")
+        for step_index in range(num_steps):
+            records = self.step(step_index)
+            is_eval_step = (step_index % eval_every == 0) \
+                or (step_index == num_steps - 1)
+            if is_eval_step:
+                observer = self.global_parameters()
+                for r, lane in enumerate(self.lanes):
+                    if lane.test_dataset is not None:
+                        records[r].test_accuracy = self._evaluate(
+                            lane, observer[r], max_eval_samples)
+            for r, lane in enumerate(self.lanes):
+                lane.history.add(records[r])
+        return [lane.history for lane in self.lanes]
+
+
+def run_batched_scenarios(specs: Sequence) -> List[TrainingHistory]:
+    """Execute seed-replica scenarios on the batched runtime.
+
+    ``specs`` must be :class:`~repro.campaign.spec.ScenarioSpec` instances
+    identical except for ``name``/``seed``.  Returns one history per spec,
+    in order, each bit-identical to ``execute_scenario`` on that spec.
+    """
+    specs = list(specs)
+    for spec in specs:
+        spec.validate()
+    trainer = BatchedGuanYuTrainer(specs)
+    base = specs[0]
+    return trainer.run(base.num_steps, eval_every=base.eval_every,
+                       max_eval_samples=base.max_eval_samples)

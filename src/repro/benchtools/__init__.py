@@ -1,0 +1,17 @@
+"""Benchmark tooling behind the CI performance gate.
+
+* :mod:`repro.benchtools.compare` — compares a fresh pytest-benchmark JSON
+  against a committed baseline and fails on median wall-time regressions
+  (``python -m repro.benchtools.compare current.json baseline.json``);
+* :mod:`repro.benchtools.bench_campaign` — times a seed-sweep campaign on
+  the batched multi-replica runtime against sequential execution and emits
+  ``BENCH_campaign.json`` for the perf trajectory.
+
+Baselines live in ``benchmarks/baselines/``; ``docs/performance.md``
+documents how to read and update them.
+
+NOTE: submodules are imported directly (``repro.benchtools.compare``) and
+deliberately not re-exported here — both are ``python -m`` entry points,
+and importing them from the package would shadow ``runpy``'s module
+execution with a second import.
+"""

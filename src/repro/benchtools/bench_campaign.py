@@ -1,0 +1,122 @@
+"""Seed-sweep campaign benchmark: batched runtime vs sequential execution.
+
+Times ``R`` seeds of the small-scale GuanYu scenario twice — once as one
+vectorised multi-replica execution (:mod:`repro.batch`), once as ``R``
+sequential simulations — verifies the histories are bit-identical, and
+writes the result as ``BENCH_campaign.json``.  CI uploads the file as an
+artifact on every run, populating the repository's performance trajectory;
+``--min-speedup`` turns it into a gate.
+
+Usage::
+
+    python -m repro.benchtools.bench_campaign --replicas 16 \
+        --output BENCH_campaign.json --min-speedup 5.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+
+def run_benchmark(replicas: int = 16, steps: int = 60,
+                  repeats: int = 1) -> Dict:
+    """Time the batched vs sequential seed sweep; returns the report dict.
+
+    ``repeats > 1`` times each side that many times and keeps the **best**
+    run per side — the standard defence against noisy-neighbour intervals
+    on shared CI runners, where a single unlucky timing would otherwise
+    trip the ``--min-speedup`` gate with no code change.
+    """
+    from repro.batch import run_batched_scenarios
+    from repro.campaign.engine import execute_scenario
+    from repro.campaign.spec import ScenarioSpec
+
+    repeats = max(repeats, 1)
+    specs = [ScenarioSpec(name=f"seed={seed}", seed=seed, num_steps=steps)
+             for seed in range(replicas)]
+
+    batched_seconds = sequential_seconds = float("inf")
+    batched = sequential = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        batched = run_batched_scenarios(specs)
+        batched_seconds = min(batched_seconds,
+                              time.perf_counter() - started)
+
+        started = time.perf_counter()
+        sequential = [execute_scenario(spec) for spec in specs]
+        sequential_seconds = min(sequential_seconds,
+                                 time.perf_counter() - started)
+
+    bit_identical = all(
+        batched_history.to_dict() == sequential_history.to_dict()
+        for batched_history, sequential_history
+        in zip(batched, sequential))
+
+    return {
+        "benchmark": "campaign_seed_sweep",
+        "scale": "small",
+        "scenario": {"trainer": "guanyu", "model": "softmax",
+                     "num_steps": steps},
+        "replicas": replicas,
+        "repeats": repeats,
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "speedup": sequential_seconds / batched_seconds,
+        "sequential_seconds_per_replica": sequential_seconds / replicas,
+        "batched_seconds_per_replica": batched_seconds / replicas,
+        "bit_identical": bit_identical,
+        "machine": {"python": platform.python_version(),
+                    "platform": platform.platform()},
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchtools.bench_campaign",
+        description="Benchmark the batched seed-sweep runtime vs "
+                    "sequential execution.")
+    parser.add_argument("--replicas", type=int, default=16,
+                        help="seeds per sweep (default 16)")
+    parser.add_argument("--steps", type=int, default=60,
+                        help="training steps per scenario (default 60)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing rounds per side; the best round counts "
+                             "(use >1 on noisy shared runners)")
+    parser.add_argument("--output", default="BENCH_campaign.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail (exit 1) when the batched speedup falls "
+                             "below this factor")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(replicas=args.replicas, steps=args.steps,
+                           repeats=args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"bench-campaign: R={report['replicas']} steps="
+          f"{report['scenario']['num_steps']}: sequential "
+          f"{report['sequential_seconds']:.2f}s, batched "
+          f"{report['batched_seconds']:.2f}s, speedup "
+          f"{report['speedup']:.1f}x, bit_identical="
+          f"{report['bit_identical']} -> {args.output}")
+
+    if not report["bit_identical"]:
+        print("bench-campaign: batched histories are NOT bit-identical to "
+              "sequential execution", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and report["speedup"] < args.min_speedup:
+        print(f"bench-campaign: speedup {report['speedup']:.2f}x below the "
+              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Benchmark-regression comparator (the CI ``bench-compare`` step).
+
+Reads two ``pytest-benchmark`` JSON files — the current run and a committed
+baseline — and fails when any benchmark's **median** wall time regressed by
+more than the threshold factor (default 1.30 = +30 %).  Medians, not means:
+CI machines have noisy tails, and the median of pytest-benchmark's many
+rounds is the stablest single number it reports.
+
+Exit codes: ``0`` all benchmarks within threshold, ``1`` at least one
+regression (or a baseline benchmark missing from the current run), ``2``
+unusable input files.
+
+Usage::
+
+    python -m repro.benchtools.compare BENCH_aggregation.json \
+        benchmarks/baselines/BENCH_aggregation.json --threshold 1.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """``fullname → median seconds`` from a pytest-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ValueError(f"{path} holds no benchmarks")
+    medians = {}
+    for entry in benchmarks:
+        name = entry.get("fullname") or entry.get("name")
+        median = entry.get("stats", {}).get("median")
+        if name is None or median is None:
+            raise ValueError(f"{path} has a benchmark without name/median")
+        medians[str(name)] = float(median)
+    return medians
+
+
+def compare_benchmarks(current: Dict[str, float], baseline: Dict[str, float],
+                       threshold: float = 1.30
+                       ) -> Tuple[List[Dict], List[str]]:
+    """Compare two median maps; returns ``(report rows, failure messages)``.
+
+    A benchmark regresses when ``current > baseline * threshold``.  A
+    baseline benchmark missing from the current run also fails — silently
+    dropping a benchmark is how perf gates rot.  Benchmarks new in the
+    current run pass with a note (the baseline needs refreshing to cover
+    them).
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1.0 (a ratio, not a delta)")
+    rows: List[Dict] = []
+    failures: List[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        now = current.get(name)
+        if now is None:
+            rows.append({"benchmark": name, "baseline_s": base,
+                         "current_s": None, "ratio": None,
+                         "status": "missing"})
+            failures.append(f"{name}: present in baseline but not in the "
+                            f"current run")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        regressed = ratio > threshold
+        rows.append({"benchmark": name, "baseline_s": base, "current_s": now,
+                     "ratio": ratio,
+                     "status": "REGRESSED" if regressed else "ok"})
+        if regressed:
+            failures.append(
+                f"{name}: median {now:.6f}s vs baseline {base:.6f}s "
+                f"({ratio:.2f}x > {threshold:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        rows.append({"benchmark": name, "baseline_s": None,
+                     "current_s": current[name], "ratio": None,
+                     "status": "new"})
+    return rows, failures
+
+
+def _format_row(row: Dict) -> str:
+    def seconds(value: Optional[float]) -> str:
+        return f"{value:.6f}" if value is not None else "-"
+
+    ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "-"
+    return (f"  {row['status']:<10} {ratio:>7}  "
+            f"{seconds(row['baseline_s']):>10} -> "
+            f"{seconds(row['current_s']):>10}  {row['benchmark']}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchtools.compare",
+        description="Fail on median wall-time regressions vs a baseline.")
+    parser.add_argument("current", help="pytest-benchmark JSON of this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=1.30,
+                        help="failure ratio (default 1.30 = +30%% median)")
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_medians(args.current)
+        baseline = load_medians(args.baseline)
+        rows, failures = compare_benchmarks(current, baseline,
+                                            threshold=args.threshold)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench-compare: error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"bench-compare: {len(rows)} benchmark(s), "
+          f"threshold {args.threshold:.2f}x on the median")
+    for row in rows:
+        print(_format_row(row))
+    if failures:
+        print(f"\nbench-compare: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench-compare: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

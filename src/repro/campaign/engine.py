@@ -23,9 +23,10 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.aggregation import get_rule
+from repro.batch import run_batched_scenarios, spec_supports_batching
 from repro.campaign.spec import CampaignSpec, ScenarioSpec, ensure_unique_names
 from repro.campaign.store import ResultStore
 from repro.core.trainer import (
@@ -55,6 +56,8 @@ class ScenarioOutcome:
     traceback: Optional[str] = None
     duration_seconds: float = 0.0
     store_key: Optional[str] = None
+    #: whether the scenario executed on the batched multi-replica runtime
+    batched: bool = False
 
 
 @dataclass
@@ -96,15 +99,10 @@ class CampaignResult:
 def build_trainer(spec: ScenarioSpec):
     """Construct the trainer/runtime a scenario describes (not yet run)."""
     from repro.experiments.common import (  # lazy: avoids an import cycle
-        build_workload,
-        make_model_factory,
-        make_schedule,
+        build_scale_bundle,
     )
 
-    scale = spec.to_scale()
-    train, test, in_features, num_classes = build_workload(scale)
-    model_fn = make_model_factory(scale, in_features, num_classes)
-    schedule = make_schedule(scale)
+    train, test, model_fn, schedule = build_scale_bundle(spec.to_scale())
     worker_attack = spec.worker_attack.build() if spec.worker_attack else None
     server_attack = spec.server_attack.build() if spec.server_attack else None
 
@@ -192,10 +190,33 @@ def _run_payload(payload: Dict) -> Dict:
                 "duration": time.perf_counter() - started}
 
 
-def _run_indexed_payload(item: tuple) -> tuple:
-    """Pool wrapper tagging each result with its pending-list index."""
-    index, payload = item
-    return index, _run_payload(payload)
+def _run_batched_payloads(payloads: List[Dict]) -> List[Dict]:
+    """Run a seed-replica group on the batched runtime; one dict per spec.
+
+    Any problem — an unsupported scenario slipping through, a replica
+    starving a quorum under message loss, a genuine training error — makes
+    the whole group fall back to isolated sequential execution, which
+    yields the canonical per-scenario outcome (the batched runtime is
+    bit-identical where it runs at all, so the fallback only costs time).
+    """
+    started = time.perf_counter()
+    try:
+        histories = run_batched_scenarios(
+            [ScenarioSpec.from_dict(payload) for payload in payloads])
+    except Exception:  # noqa: BLE001 - fall back to per-scenario isolation
+        return [_run_payload(payload) for payload in payloads]
+    duration = (time.perf_counter() - started) / max(len(payloads), 1)
+    return [{"status": "ran", "history": history.to_dict(), "error": None,
+             "traceback": None, "duration": duration, "batched": True}
+            for history in histories]
+
+
+def _run_indexed_task(item: tuple) -> tuple:
+    """Pool wrapper: ``(index, kind, payloads)`` → ``(index, outcome list)``."""
+    index, kind, payloads = item
+    if kind == "batch":
+        return index, _run_batched_payloads(payloads)
+    return index, [_run_payload(payloads[0])]
 
 
 # --------------------------------------------------------------------------- #
@@ -206,7 +227,8 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                  processes: Optional[int] = None,
                  progress: Optional[ProgressCallback] = None,
                  on_invalid: str = "raise",
-                 name: Optional[str] = None) -> CampaignResult:
+                 name: Optional[str] = None,
+                 batch_seeds: bool = False) -> CampaignResult:
     """Execute a campaign (or a plain scenario list).
 
     Parameters
@@ -231,6 +253,15 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
     name:
         Result name for plain scenario lists (a :class:`CampaignSpec` brings
         its own).
+    batch_seeds:
+        Detect **seed-only axes**: pending scenarios that are identical
+        except for their seed (equal :meth:`ScenarioSpec.batch_group_hash`)
+        and within the batched runtime's envelope run as *one* vectorised
+        multi-replica execution (:mod:`repro.batch`) instead of N separate
+        simulations.  Results are bit-identical per seed and are stored
+        under each scenario's unchanged content address, so existing stores
+        stay valid; groups the batched runtime cannot execute fall back to
+        sequential runs automatically.
     """
     if isinstance(campaign, CampaignSpec):
         name = campaign.name
@@ -274,7 +305,8 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
         outcome = ScenarioOutcome(spec=spec, status=payload["status"],
                                   history=history, error=payload["error"],
                                   traceback=payload.get("traceback"),
-                                  duration_seconds=payload["duration"])
+                                  duration_seconds=payload["duration"],
+                                  batched=payload.get("batched", False))
         if store is not None and outcome.status == "ran":
             outcome.store_key = store.put(
                 spec, history, duration_seconds=outcome.duration_seconds)
@@ -291,21 +323,48 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                                    traceback=payload.get("traceback"),
                                    store_key=outcome.store_key))
 
-    if processes and processes > 1 and len(pending) > 1:
-        pool_size = min(processes, len(pending))
-        items = [(index, spec.to_dict())
-                 for index, (spec, _) in enumerate(pending)]
+    # One task = one unit of pool work: a lone scenario, or a seed-replica
+    # group destined for the batched runtime.
+    tasks: List[Tuple[str, List[Tuple[ScenarioSpec, str]]]] = []
+    if batch_seeds:
+        seed_groups: Dict[str, List[Tuple[ScenarioSpec, str]]] = {}
+        singles: List[Tuple[ScenarioSpec, str]] = []
+        for spec, key in pending:
+            if spec_supports_batching(spec):
+                seed_groups.setdefault(spec.batch_group_hash(),
+                                       []).append((spec, key))
+            else:
+                singles.append((spec, key))
+        for bucket in seed_groups.values():
+            if len(bucket) >= 2:
+                tasks.append(("batch", bucket))
+            else:
+                singles.extend(bucket)
+        tasks.extend(("single", [item]) for item in singles)
+    else:
+        tasks = [("single", [item]) for item in pending]
+
+    if processes and processes > 1 and len(tasks) > 1:
+        pool_size = min(processes, len(tasks))
+        items = [(index, kind, [spec.to_dict() for spec, _ in bucket])
+                 for index, (kind, bucket) in enumerate(tasks)]
         with multiprocessing.get_context().Pool(pool_size) as pool:
             # Unordered: each result is persisted/reported the moment it
             # completes, so an interruption loses at most the in-flight
             # scenarios — not everything queued behind a slow one.
-            for index, payload in pool.imap_unordered(_run_indexed_payload,
-                                                      items):
-                spec, key = pending[index]
-                finish_payload(spec, key, payload)
+            for index, payloads in pool.imap_unordered(_run_indexed_task,
+                                                       items):
+                for (spec, key), payload in zip(tasks[index][1], payloads):
+                    finish_payload(spec, key, payload)
     else:
-        for spec, key in pending:
-            finish_payload(spec, key, _run_payload(spec.to_dict()))
+        for kind, bucket in tasks:
+            if kind == "batch":
+                payloads = _run_batched_payloads(
+                    [spec.to_dict() for spec, _ in bucket])
+            else:
+                payloads = [_run_payload(bucket[0][0].to_dict())]
+            for (spec, key), payload in zip(bucket, payloads):
+                finish_payload(spec, key, payload)
 
     return CampaignResult(name=name,
                           outcomes=[outcomes[spec.name] for spec in scenarios])

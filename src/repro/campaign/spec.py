@@ -464,6 +464,23 @@ class ScenarioSpec:
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def batch_group_hash(self) -> str:
+        """Content address ignoring ``name`` *and* ``seed``.
+
+        Scenarios sharing this hash are replicas of one configuration that
+        differ only in their random seed — exactly the axis the batched
+        multi-replica runtime (:mod:`repro.batch`) vectorises over.  The
+        campaign engine groups pending scenarios by this hash when
+        ``batch_seeds`` is requested.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        del payload["seed"]
+        if payload["faults"] is None:
+            del payload["faults"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     # ------------------------------------------------------------------ #
     # ExperimentScale interoperability (lazy imports: see module docstring)
     # ------------------------------------------------------------------ #

@@ -289,18 +289,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     def report_progress(outcome, completed, total) -> None:
         line = f"[{completed}/{total}] {outcome.status:<6} {outcome.spec.name}"
         if outcome.status == "ran":
-            line += f" ({outcome.duration_seconds:.2f}s)"
+            line += f" ({outcome.duration_seconds:.2f}s"
+            line += ", batched)" if outcome.batched else ")"
         elif outcome.status == "failed":
             line += f" — {outcome.error}"
         print(line)
 
     started = time.perf_counter()
     result = run_campaign(scenarios, name=campaign_name, store=store,
-                          processes=processes, progress=report_progress)
+                          processes=processes, progress=report_progress,
+                          batch_seeds=args.batch_seeds)
     elapsed = time.perf_counter() - started
     counts = result.counts()
+    num_batched = sum(1 for outcome in result.outcomes if outcome.batched)
+    batched_note = f" ({num_batched} batched)" if num_batched else ""
+    # One-line machine-greppable summary; the scheduled CI workflow relies
+    # on this line plus the non-zero exit code below to detect failures.
     print(f"\ncampaign '{result.name}': {len(result.outcomes)} scenarios — "
-          f"ran {counts['ran']}, cached {counts['cached']}, "
+          f"ran {counts['ran']}{batched_note}, cached {counts['cached']}, "
           f"failed {counts['failed']} in {elapsed:.1f}s "
           f"({processes} process(es))")
     if store is not None:
@@ -420,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result-store directory (enables caching/resume)")
     sweep.add_argument("--processes", type=int, default=None,
                        help="pool size (default: min(cpu_count, 8); 1 = serial)")
+    sweep.add_argument("--batch-seeds", action="store_true",
+                       help="run scenarios that differ only in seed as one "
+                            "vectorised multi-replica execution (bit-"
+                            "identical per seed; see docs/performance.md)")
     sweep.add_argument("--faults", default=None, metavar="FILE",
                        help="fault-schedule JSON applied to every grid cell")
     sweep.add_argument("--skip-invalid", action="store_true",

@@ -33,6 +33,55 @@ class GradientResult:
     batch_size: int
 
 
+def apply_worker_attack(attack: Optional[WorkerAttack],
+                        rng: np.random.Generator, result: GradientResult,
+                        step: int, peer_gradients: Sequence[np.ndarray] = (),
+                        recipient: Optional[str] = None) -> Optional[np.ndarray]:
+    """The gradient a (possibly Byzantine) worker actually sends.
+
+    This is the single attack-application path shared by
+    :meth:`WorkerNode.outgoing_gradient` and the batched multi-replica
+    runtime (:mod:`repro.batch`), so both produce bit-identical corruption
+    for the same attack state and generator.
+    """
+    if attack is None:
+        return result.gradient
+    context = AttackContext(step=step, honest_value=result.gradient,
+                            peer_values=list(peer_gradients), rng=rng,
+                            recipient=recipient)
+    return attack.corrupt_gradient(context)
+
+
+def poison_worker_batch(attack: Optional[WorkerAttack],
+                        rng: np.random.Generator, aggregated: np.ndarray,
+                        step: int, features: np.ndarray, labels: np.ndarray):
+    """Run a worker attack's data-poisoning hook on one mini-batch.
+
+    Shared by :meth:`WorkerNode.compute_gradient` and the batched runtime;
+    honest workers pass through unchanged.
+    """
+    if attack is None:
+        return features, labels
+    context = AttackContext(step=step, honest_value=aggregated, rng=rng)
+    return attack.poison_batch(features, labels, context)
+
+
+def apply_server_attack(attack: Optional[ServerAttack],
+                        rng: np.random.Generator, honest: np.ndarray,
+                        step: int,
+                        recipient: Optional[str] = None) -> Optional[np.ndarray]:
+    """The model a (possibly Byzantine) server actually sends.
+
+    Shared by :meth:`ServerNode.outgoing_model` and the batched runtime;
+    see :func:`apply_worker_attack`.
+    """
+    if attack is None:
+        return honest
+    context = AttackContext(step=step, honest_value=honest, rng=rng,
+                            recipient=recipient)
+    return attack.corrupt_model(context)
+
+
 class WorkerNode:
     """A worker: aggregates server models with ``M`` and computes gradients.
 
@@ -87,9 +136,9 @@ class WorkerNode:
         self.model.set_flat_parameters(aggregated)
 
         features, labels = self.loader.next_batch()
-        if self.attack is not None:
-            context = AttackContext(step=step, honest_value=aggregated, rng=self._rng)
-            features, labels = self.attack.poison_batch(features, labels, context)
+        features, labels = poison_worker_batch(self.attack, self._rng,
+                                               aggregated, step,
+                                               features, labels)
 
         self.model.zero_grad()
         logits = self.model(Tensor(features))
@@ -110,12 +159,9 @@ class WorkerNode:
         workers route it through their attack (which may return ``None`` for
         silence).
         """
-        if self.attack is None:
-            return result.gradient
-        context = AttackContext(step=step, honest_value=result.gradient,
-                                peer_values=list(peer_gradients), rng=self._rng,
-                                recipient=recipient)
-        return self.attack.corrupt_gradient(context)
+        return apply_worker_attack(self.attack, self._rng, result, step,
+                                   peer_gradients=peer_gradients,
+                                   recipient=recipient)
 
 
 class ServerNode:
@@ -167,12 +213,9 @@ class ServerNode:
         route them through their attack (possibly per-recipient equivocation
         or silence).
         """
-        honest = self.current_parameters()
-        if self.attack is None:
-            return honest
-        context = AttackContext(step=step, honest_value=honest, rng=self._rng,
-                                recipient=recipient)
-        return self.attack.corrupt_model(context)
+        return apply_server_attack(self.attack, self._rng,
+                                   self.current_parameters(), step,
+                                   recipient=recipient)
 
     def apply_gradients(self, gradients: Sequence[np.ndarray], step: int) -> np.ndarray:
         """Phase 2: aggregate gradients with ``F`` and apply the SGD update.

@@ -43,6 +43,40 @@ from repro.runtime.cost import GRID5000_LIKE, CostModel
 ModelFactory = Callable[[], Module]
 
 
+def attacking_node_ids(node_ids: Sequence[str], count: int) -> set:
+    """The ids of the ``count`` actually-attacking nodes (the *last* ids).
+
+    The placement convention is shared by every runtime — sequential,
+    threaded and batched — so that a scenario means the same cluster under
+    each of them.
+    """
+    if count <= 0:
+        return set()
+    return set(node_ids[len(node_ids) - count:])
+
+
+def validate_attack_counts(config: ClusterConfig,
+                           worker_attack: Optional[WorkerAttack],
+                           num_attacking_workers: int,
+                           server_attack: Optional[ServerAttack],
+                           num_attacking_servers: int) -> None:
+    """Check attack counts against a cluster's declared Byzantine budget."""
+    if num_attacking_workers > 0 and worker_attack is None:
+        raise ValueError("num_attacking_workers > 0 requires a worker_attack")
+    if num_attacking_servers > 0 and server_attack is None:
+        raise ValueError("num_attacking_servers > 0 requires a server_attack")
+    if num_attacking_workers > config.num_byzantine_workers:
+        raise ValueError(
+            "more attacking workers than the declared Byzantine count; "
+            "GuanYu's guarantees only cover f̄ declared Byzantine workers"
+        )
+    if num_attacking_servers > config.num_byzantine_servers:
+        raise ValueError(
+            "more attacking servers than the declared Byzantine count; "
+            "GuanYu's guarantees only cover f declared Byzantine servers"
+        )
+
+
 class DistributedTrainer:
     """Shared infrastructure for the distributed trainers.
 
@@ -217,10 +251,8 @@ class GuanYuTrainer(DistributedTrainer):
 
         worker_ids = config.worker_ids()
         server_ids = config.server_ids()
-        attacking_workers = set(worker_ids[len(worker_ids) - num_attacking_workers:]) \
-            if num_attacking_workers else set()
-        attacking_servers = set(server_ids[len(server_ids) - num_attacking_servers:]) \
-            if num_attacking_servers else set()
+        attacking_workers = attacking_node_ids(worker_ids, num_attacking_workers)
+        attacking_servers = attacking_node_ids(server_ids, num_attacking_servers)
 
         worker_attacks = {wid: (worker_attack if wid in attacking_workers else None)
                           for wid in worker_ids}
@@ -269,20 +301,9 @@ class GuanYuTrainer(DistributedTrainer):
     # ------------------------------------------------------------------ #
     def _validate_attack_counts(self, worker_attack, num_attacking_workers,
                                 server_attack, num_attacking_servers) -> None:
-        if num_attacking_workers > 0 and worker_attack is None:
-            raise ValueError("num_attacking_workers > 0 requires a worker_attack")
-        if num_attacking_servers > 0 and server_attack is None:
-            raise ValueError("num_attacking_servers > 0 requires a server_attack")
-        if num_attacking_workers > self.config.num_byzantine_workers:
-            raise ValueError(
-                "more attacking workers than the declared Byzantine count; "
-                "GuanYu's guarantees only cover f̄ declared Byzantine workers"
-            )
-        if num_attacking_servers > self.config.num_byzantine_servers:
-            raise ValueError(
-                "more attacking servers than the declared Byzantine count; "
-                "GuanYu's guarantees only cover f declared Byzantine servers"
-            )
+        validate_attack_counts(self.config, worker_attack,
+                               num_attacking_workers, server_attack,
+                               num_attacking_servers)
 
     # ------------------------------------------------------------------ #
     @property

@@ -134,3 +134,16 @@ def make_model_factory(scale: ExperimentScale, in_features: int,
 def make_schedule(scale: ExperimentScale) -> LearningRateSchedule:
     """The constant learning-rate schedule the paper's experiments use."""
     return ConstantSchedule(scale.learning_rate)
+
+
+def build_scale_bundle(scale: ExperimentScale):
+    """Everything a trainer needs for one scale, built in canonical order.
+
+    Returns ``(train, test, model_fn, schedule)``.  Shared by the campaign
+    engine (one bundle per scenario) and the batched multi-replica runtime
+    (one bundle per replica seed) so that both construct workloads from a
+    seed in exactly the same way.
+    """
+    train, test, in_features, num_classes = build_workload(scale)
+    model_fn = make_model_factory(scale, in_features, num_classes)
+    return train, test, model_fn, make_schedule(scale)

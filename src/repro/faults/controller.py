@@ -174,6 +174,17 @@ class FaultController:
         return not any(window.active(step)
                        for window in self._crash_windows.get(node_id, ()))
 
+    def alive_mask(self, node_ids: Sequence[str], step: int) -> np.ndarray:
+        """Boolean :meth:`node_alive` mask over ``node_ids`` at ``step``.
+
+        Crash windows are a pure function of ``(schedule, step)`` — never of
+        the sampling seed — so the batched multi-replica runtime
+        (:meth:`repro.batch.BatchedGuanYuTrainer.step`) computes this mask
+        on one replica's controller and shares it across all replicas.
+        """
+        return np.array([self.node_alive(node_id, step)
+                         for node_id in node_ids], dtype=bool)
+
     def attack_active(self, node_id: str, step: int) -> bool:
         """Whether the attack installed on ``node_id`` is live at ``step``.
 

@@ -34,12 +34,36 @@ class DelayModel:
         """Sample the pure latency component (seconds)."""
         raise NotImplementedError
 
+    def latency_batch(self, rng: np.random.Generator, sender: str,
+                      recipient: Optional[str], count: int) -> np.ndarray:
+        """Sample ``count`` consecutive latencies from one generator.
+
+        Must be **bit-identical** to ``count`` successive :meth:`latency`
+        calls on the same generator — the batched runtime relies on this to
+        reproduce the sequential simulator's delay stream exactly.  The
+        default literally loops; subclasses override with the equivalent
+        vectorised draw (NumPy ``Generator`` fills vectorised requests from
+        the same bit stream as repeated scalar draws).
+        """
+        return np.array([self.latency(rng, sender, recipient)
+                         for _ in range(count)], dtype=np.float64)
+
     def sample(self, rng: np.random.Generator, sender: str, recipient: str,
                size_bytes: int) -> float:
         """Sample the total delay for a message of ``size_bytes``."""
         transfer = size_bytes / self.bandwidth
         delay = self.latency(rng, sender, recipient) + transfer
         return max(delay, 0.0)
+
+    def sample_batch(self, rng: np.random.Generator, sender: str,
+                     recipient: Optional[str], size_bytes: int,
+                     count: int) -> np.ndarray:
+        """``count`` consecutive :meth:`sample` draws as one array."""
+        if count == 0:
+            return np.zeros(0)
+        transfer = size_bytes / self.bandwidth
+        return np.maximum(
+            self.latency_batch(rng, sender, recipient, count) + transfer, 0.0)
 
 
 class ConstantDelay(DelayModel):
@@ -53,6 +77,9 @@ class ConstantDelay(DelayModel):
 
     def latency(self, rng, sender, recipient) -> float:
         return self.delay
+
+    def latency_batch(self, rng, sender, recipient, count) -> np.ndarray:
+        return np.full(count, self.delay, dtype=np.float64)
 
 
 class UniformDelay(DelayModel):
@@ -68,6 +95,9 @@ class UniformDelay(DelayModel):
     def latency(self, rng, sender, recipient) -> float:
         return float(rng.uniform(self.low, self.high))
 
+    def latency_batch(self, rng, sender, recipient, count) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=count)
+
 
 class ExponentialDelay(DelayModel):
     """Exponentially distributed latency (heavy-ish tail, memoryless)."""
@@ -82,6 +112,9 @@ class ExponentialDelay(DelayModel):
     def latency(self, rng, sender, recipient) -> float:
         return self.minimum + float(rng.exponential(self.mean))
 
+    def latency_batch(self, rng, sender, recipient, count) -> np.ndarray:
+        return self.minimum + rng.exponential(self.mean, size=count)
+
 
 class LogNormalDelay(DelayModel):
     """Log-normal latency — the classic datacentre tail-latency model."""
@@ -95,6 +128,9 @@ class LogNormalDelay(DelayModel):
 
     def latency(self, rng, sender, recipient) -> float:
         return float(rng.lognormal(np.log(self.median), self.sigma))
+
+    def latency_batch(self, rng, sender, recipient, count) -> np.ndarray:
+        return rng.lognormal(np.log(self.median), self.sigma, size=count)
 
 
 class HeterogeneousDelay(DelayModel):

@@ -1,0 +1,119 @@
+"""Property tests of the batched GAR code path.
+
+The batched multi-replica runtime's equivalence guarantee rests on
+``aggregate_batched`` over an ``(R, n, D)`` stack being **bit-identical**
+to the ``R`` sequential ``aggregate`` calls — for every registered rule,
+including under adversarially-shaped inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation import (
+    GradientAggregationRule,
+    available_rules,
+    get_rule,
+    krum_scores,
+    krum_scores_batched,
+    pairwise_squared_distances_batched,
+)
+from repro.aggregation.krum import pairwise_squared_distances
+
+
+def _attack_stacks(rng, replicas, n, dim, num_byzantine):
+    """Replica stacks shaped like the attacks the trainers produce."""
+    honest = rng.normal(size=(replicas, n, dim))
+
+    large_outliers = honest.copy()
+    large_outliers[:, -num_byzantine:] = rng.normal(
+        0.0, 100.0, size=(replicas, num_byzantine, dim))
+
+    sign_flipped = honest.copy()
+    sign_flipped[:, -num_byzantine:] = -honest[:, -num_byzantine:]
+
+    # "A little is enough": Byzantine rows inside the honest noise envelope.
+    mean = honest[:, :-num_byzantine].mean(axis=1, keepdims=True)
+    std = honest[:, :-num_byzantine].std(axis=1, keepdims=True)
+    little = honest.copy()
+    little[:, -num_byzantine:] = mean - 1.5 * std
+
+    identical_rows = np.repeat(rng.normal(size=(replicas, 1, dim)), n, axis=1)
+    return {"honest": honest, "large_outliers": large_outliers,
+            "sign_flipped": sign_flipped, "little_is_enough": little,
+            "identical_rows": identical_rows}
+
+
+@pytest.mark.parametrize("rule_name", available_rules())
+@pytest.mark.parametrize("num_byzantine", [0, 2])
+def test_batched_equals_sequential_for_every_rule(rule_name, num_byzantine):
+    rng = np.random.default_rng(hash(rule_name) % (2 ** 32))
+    replicas, dim = 6, 23
+    rule = get_rule(rule_name, num_byzantine=num_byzantine)
+    n = max(rule.minimum_inputs(), 2 * num_byzantine + 4)
+    byzantine_rows = max(num_byzantine, 1)
+    for label, stack in _attack_stacks(rng, replicas, n, dim,
+                                       byzantine_rows).items():
+        batched = rule.aggregate_batched(stack)
+        sequential = np.stack([rule.aggregate(stack[r])
+                               for r in range(replicas)])
+        assert batched.shape == (replicas, dim), (rule_name, label)
+        assert np.array_equal(batched, sequential), (rule_name, label)
+
+
+def test_batched_single_replica_matches_plain_aggregate():
+    rng = np.random.default_rng(0)
+    stack = rng.normal(size=(1, 9, 11))
+    for rule_name in available_rules():
+        rule = get_rule(rule_name, num_byzantine=1)
+        if stack.shape[1] < rule.minimum_inputs():
+            continue
+        assert np.array_equal(rule.aggregate_batched(stack)[0],
+                              rule.aggregate(stack[0])), rule_name
+
+
+def test_default_fallback_loops_per_replica():
+    """Rules without a vectorised override still aggregate correctly."""
+
+    class LastVector(GradientAggregationRule):
+        name = "last_vector_test_only"
+
+        def _aggregate(self, stacked):
+            return stacked[-1].copy()
+
+    rng = np.random.default_rng(1)
+    stack = rng.normal(size=(4, 5, 7))
+    out = LastVector().aggregate_batched(stack)
+    assert np.array_equal(out, stack[:, -1])
+
+
+def test_batched_validation_errors():
+    rule = get_rule("median", num_byzantine=1)
+    with pytest.raises(ValueError, match=r"\(R, n, d\)"):
+        rule.aggregate_batched(np.zeros((4, 5)))
+    with pytest.raises(ValueError, match="at least one replica"):
+        rule.aggregate_batched(np.zeros((0, 5, 3)))
+    with pytest.raises(ValueError, match="requires at least"):
+        rule.aggregate_batched(np.zeros((2, 2, 3)))  # needs 2f+1 = 3
+    bad = np.zeros((2, 5, 3))
+    bad[1, 2, 0] = np.nan
+    with pytest.raises(ValueError, match="NaN or Inf"):
+        rule.aggregate_batched(bad)
+
+
+def test_batched_gram_kernel_matches_sequential():
+    rng = np.random.default_rng(2)
+    stack = rng.normal(size=(5, 9, 31))
+    batched = pairwise_squared_distances_batched(stack)
+    for r in range(stack.shape[0]):
+        assert np.array_equal(batched[r], pairwise_squared_distances(stack[r]))
+
+
+def test_batched_krum_scores_match_sequential():
+    rng = np.random.default_rng(3)
+    stack = rng.normal(size=(5, 9, 17))
+    batched = krum_scores_batched(stack, num_byzantine=2)
+    for r in range(stack.shape[0]):
+        assert np.array_equal(batched[r], krum_scores(stack[r],
+                                                      num_byzantine=2))
+    with pytest.raises(ValueError, match="n - f - 2"):
+        krum_scores_batched(stack, num_byzantine=8)

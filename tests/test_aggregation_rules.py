@@ -192,6 +192,31 @@ class TestGeometricMedian:
         out = GeometricMedian()(vectors)
         assert abs(float(out[0]) - 2.0) < 1e-4
 
+    def test_convergence_diagnostics_exposed(self):
+        rule = GeometricMedian(num_byzantine=1)
+        assert rule.converged is None and rule.iterations == 0
+        rng = np.random.default_rng(0)
+        rule(rng.normal(size=(9, 16)))
+        assert rule.converged is True
+        assert 0 < rule.iterations <= rule.max_iterations
+
+    def test_unconverged_run_warns_and_reports(self):
+        rule = GeometricMedian(max_iterations=2, tolerance=1e-30)
+        rng = np.random.default_rng(1)
+        cloud = rng.normal(size=(7, 8))
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            out = rule(cloud)
+        assert rule.converged is False
+        assert rule.iterations == 2
+        assert np.all(np.isfinite(out))
+
+    def test_coincident_estimate_converges_immediately(self):
+        vectors = np.array([[1.0, 2.0]] * 5)
+        rule = GeometricMedian()
+        out = rule(vectors)
+        assert np.allclose(out, [1.0, 2.0])
+        assert rule.converged is True
+
 
 class TestRegistry:
     def test_all_rules_registered(self):

@@ -1,0 +1,141 @@
+"""Unit tests of the CI benchmark-regression gate.
+
+The acceptance bar for the gate is behavioural: it must pass when the
+current run matches the baseline and fail on a synthetic 2× slowdown.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.benchtools import bench_campaign
+from repro.benchtools.compare import compare_benchmarks, load_medians, main
+
+
+def _bench_json(medians):
+    return {"benchmarks": [{"fullname": name,
+                            "stats": {"median": value, "mean": value}}
+                           for name, value in medians.items()]}
+
+
+def _write(path, medians):
+    path.write_text(json.dumps(_bench_json(medians)))
+    return str(path)
+
+
+BASELINE = {"bench::mean": 0.010, "bench::median": 0.050,
+            "bench::multi_krum": 0.080}
+
+
+class TestComparator:
+    def test_identical_runs_pass(self):
+        rows, failures = compare_benchmarks(dict(BASELINE), dict(BASELINE))
+        assert failures == []
+        assert all(row["status"] == "ok" for row in rows)
+
+    def test_two_x_slowdown_fails(self):
+        slow = {name: value * 2.0 for name, value in BASELINE.items()}
+        rows, failures = compare_benchmarks(slow, dict(BASELINE))
+        assert len(failures) == len(BASELINE)
+        assert all(row["status"] == "REGRESSED" for row in rows)
+        assert "2.00x" in failures[0]
+
+    def test_regression_just_under_threshold_passes(self):
+        current = {name: value * 1.29 for name, value in BASELINE.items()}
+        _, failures = compare_benchmarks(current, dict(BASELINE),
+                                         threshold=1.30)
+        assert failures == []
+
+    def test_missing_benchmark_fails(self):
+        current = dict(BASELINE)
+        current.pop("bench::median")
+        rows, failures = compare_benchmarks(current, dict(BASELINE))
+        assert any("not in the current run" in failure
+                   for failure in failures)
+        assert any(row["status"] == "missing" for row in rows)
+
+    def test_new_benchmark_passes_with_note(self):
+        current = dict(BASELINE)
+        current["bench::brand_new"] = 0.001
+        rows, failures = compare_benchmarks(current, dict(BASELINE))
+        assert failures == []
+        assert any(row["status"] == "new" for row in rows)
+
+    def test_threshold_must_be_a_ratio(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_benchmarks(dict(BASELINE), dict(BASELINE), threshold=0.3)
+
+
+class TestLoadMedians:
+    def test_round_trip(self, tmp_path):
+        path = _write(tmp_path / "bench.json", BASELINE)
+        assert load_medians(path) == BASELINE
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(ValueError, match="no benchmarks"):
+            load_medians(str(path))
+
+    def test_benchmark_without_median_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"benchmarks": [{"fullname": "x",
+                                                    "stats": {}}]}))
+        with pytest.raises(ValueError, match="name/median"):
+            load_medians(str(path))
+
+
+class TestMainExitCodes:
+    def test_pass_is_zero(self, tmp_path, capsys):
+        current = _write(tmp_path / "current.json", BASELINE)
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        assert main([current, baseline]) == 0
+        assert "bench-compare: ok" in capsys.readouterr().out
+
+    def test_synthetic_two_x_slowdown_is_one(self, tmp_path, capsys):
+        slow = {name: value * 2.0 for name, value in BASELINE.items()}
+        current = _write(tmp_path / "current.json", slow)
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        assert main([current, baseline]) == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_missing_file_is_two(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "baseline.json", BASELINE)
+        assert main([str(tmp_path / "nope.json"), baseline]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_committed_aggregation_baseline_parses(self):
+        baseline = Path(__file__).resolve().parents[1] \
+            / "benchmarks" / "baselines" / "BENCH_aggregation.json"
+        medians = load_medians(str(baseline))
+        assert any("multi_krum" in name for name in medians)
+        assert any("geometric_median" in name for name in medians)
+        assert all(value > 0 for value in medians.values())
+
+
+class TestCampaignBenchmark:
+    def test_report_shape_and_bit_identity(self, tmp_path):
+        report = bench_campaign.run_benchmark(replicas=2, steps=3)
+        assert report["bit_identical"] is True
+        assert report["replicas"] == 2
+        assert report["sequential_seconds"] > 0
+        assert report["batched_seconds"] > 0
+        assert report["speedup"] == pytest.approx(
+            report["sequential_seconds"] / report["batched_seconds"])
+
+    def test_main_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_campaign.json"
+        code = bench_campaign.main(["--replicas", "2", "--steps", "3",
+                                    "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "campaign_seed_sweep"
+        assert "speedup" in capsys.readouterr().out
+
+    def test_min_speedup_gate(self, tmp_path):
+        output = tmp_path / "bench.json"
+        code = bench_campaign.main(["--replicas", "2", "--steps", "3",
+                                    "--output", str(output),
+                                    "--min-speedup", "10000.0"])
+        assert code == 1

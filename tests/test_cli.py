@@ -132,6 +132,48 @@ class TestSweep:
         assert code == 0
         assert "8 scenarios — ran 0, cached 8, failed 0" in out
 
+    def test_batch_seeds_sweep_matches_sequential_store(self, capsys,
+                                                        tmp_path):
+        """--batch-seeds runs the seed axis on the batched runtime and
+        fills the store with the same content addresses a sequential sweep
+        would (bit-identical histories, so resume works across modes)."""
+        base = ["--steps", "4"] + BASE_ARGS[2:] + [
+            "sweep", "--gars", "multi_krum", "--seeds", "0", "1", "2",
+            "--processes", "1"]
+        batched_store = tmp_path / "batched"
+        code, out = _run(capsys, base + ["--batch-seeds", "--store",
+                                         str(batched_store)])
+        assert code == 0
+        assert "ran 3 (3 batched), cached 0, failed 0" in out
+
+        sequential_store = tmp_path / "sequential"
+        code, _ = _run(capsys, base + ["--store", str(sequential_store)])
+        assert code == 0
+        batched_keys = sorted(p.name for p in batched_store.glob("??/*.json"))
+        sequential_keys = sorted(p.name
+                                 for p in sequential_store.glob("??/*.json"))
+        assert batched_keys == sequential_keys
+
+        # A batched store resumes a sequential sweep (and vice versa).
+        code, out = _run(capsys, base + ["--store", str(batched_store)])
+        assert code == 0
+        assert "ran 0, cached 3, failed 0" in out
+
+    def test_batch_seeds_failure_still_exits_nonzero(self, capsys, tmp_path):
+        from repro.campaign import CampaignSpec, ScenarioSpec
+        campaign = CampaignSpec(
+            name="failing-batched",
+            base=ScenarioSpec(num_steps=4, dataset_size=300,
+                              worker_attack={"name": "label_flip",
+                                             "kwargs": {"num_classes": 10}}),
+            grid={"seed": [0, 1]})
+        path = tmp_path / "campaign.json"
+        path.write_text(campaign.to_json())
+        code, out = _run(capsys, ["sweep", "--spec", str(path),
+                                  "--batch-seeds", "--processes", "1"])
+        assert code == 1
+        assert "failed 2" in out
+
     def test_sweep_without_store_does_not_cache(self, capsys):
         argv = ["--steps", "4"] + BASE_ARGS[2:] + [
             "sweep", "--gars", "median", "--processes", "1"]
