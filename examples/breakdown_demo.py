@@ -1,0 +1,44 @@
+"""Empirical breakdown points: where each GAR actually stops working.
+
+Runs the bisection search of :mod:`repro.experiments.breakdown` on a tiny
+workload and prints the resilience-boundary table: for each aggregation
+rule, the largest number of colluding attackers it survives under the
+omniscient worst-case adversary and under plain gradient reversal, against
+the ``n̄ ≥ 3f̄ + 3`` admissibility ceiling of the cluster arithmetic.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/breakdown_demo.py
+"""
+
+from repro.experiments.breakdown import breakdown_table, run_breakdown_search
+from repro.experiments.common import ExperimentScale
+from repro.plotting import format_table
+
+
+def main() -> None:
+    scale = ExperimentScale.small()
+    scale.num_steps = 15
+
+    print("Searching breakdown points (bisection over the attacker count;"
+          " every cell is one small GuanYu training run)...\n")
+    results = run_breakdown_search(
+        scale=scale,
+        gars=("mean", "median", "multi_krum"),
+        adversaries=("omniscient_descent", "reversed_gradient"))
+
+    print(format_table(breakdown_table(results), float_format="{:.4f}"))
+    print()
+    for result in results:
+        losses = ", ".join(f"f={count}: {loss:.3f}"
+                           for count, loss in result.losses.items())
+        print(f"  {result.gradient_rule:<11} vs {result.adversary:<19} "
+              f"final losses — {losses}")
+    print("\nReading the table: plain averaging breaks at the first "
+          "omniscient attacker\n(breakdown_f = 0) while the "
+          "Byzantine-resilient rules hold to the admissible\nmaximum — "
+          "the boundary the paper proves.")
+
+
+if __name__ == "__main__":
+    main()

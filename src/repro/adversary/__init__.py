@@ -1,0 +1,61 @@
+"""Adaptive adversary engine: stateful, omniscient, colluding attacks.
+
+The legacy :mod:`repro.byzantine` attacks are stateless per-call
+transforms of one gradient or model; this package reproduces the *strong*
+half of the paper's threat model — a single adversary that controls every
+Byzantine node, observes the honest gradients of the round, the current
+model and the deployed GAR, and emits coordinated, time-coupled
+corruptions.  See ``docs/adversaries.md`` for the taxonomy and the
+determinism contract, and :mod:`repro.experiments.breakdown` for the
+empirical breakdown-point search built on top.
+"""
+
+from repro.adversary.base import (
+    HONEST_PLAN,
+    Adversary,
+    RoundObservation,
+    RoundPlan,
+    RunBinding,
+    StatelessAdversary,
+)
+from repro.adversary.engine import (
+    AdversaryCoordinator,
+    AdversaryServerAttack,
+    AdversaryWorkerAttack,
+    ObservationTimeout,
+    build_adversary_attacks,
+    make_binding,
+)
+from repro.adversary.registry import (
+    available_adversaries,
+    get_adversary,
+    register_adversary,
+)
+from repro.adversary.strategies import (
+    CollusionAdversary,
+    OmniscientDescentAdversary,
+    OscillatingAdversary,
+    SleeperAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "StatelessAdversary",
+    "RunBinding",
+    "RoundObservation",
+    "RoundPlan",
+    "HONEST_PLAN",
+    "AdversaryCoordinator",
+    "AdversaryWorkerAttack",
+    "AdversaryServerAttack",
+    "ObservationTimeout",
+    "build_adversary_attacks",
+    "make_binding",
+    "OmniscientDescentAdversary",
+    "CollusionAdversary",
+    "SleeperAdversary",
+    "OscillatingAdversary",
+    "available_adversaries",
+    "get_adversary",
+    "register_adversary",
+]

@@ -1,0 +1,231 @@
+"""Core abstractions of the adaptive adversary engine.
+
+The paper proves resilience against a single *omniscient, colluding,
+adaptive* adversary that controls every Byzantine node at once.  The legacy
+:mod:`repro.byzantine` attacks are stateless per-call transforms of one
+gradient; an :class:`Adversary` instead owns **all** Byzantine nodes of a
+run, observes everything the paper's threat model allows it to observe —
+the honest gradients of the round, the current model, the deployed GAR and
+its declared ``f`` (:class:`RunBinding` / :class:`RoundObservation`) — and
+emits one *coordinated* corruption plan per round (:class:`RoundPlan`).
+
+Determinism contract
+--------------------
+Every random draw an adversary makes comes from ``RoundObservation.rng``,
+a generator freshly derived from ``(seed, step)`` — never from a stream
+shared across rounds or nodes.  A round plan is therefore a pure function
+of ``(seed, step, observed honest gradients, model)``, which makes the
+emitted corruption bit-identical no matter which runtime drives the seam:
+the sequential trainer, the threaded runtime (where Byzantine node threads
+race each other) and the batched multi-replica runtime all obtain the same
+bytes for the same observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, ServerAttack, WorkerAttack
+
+
+@dataclass
+class RunBinding:
+    """Everything the adversary knows about a run before it starts.
+
+    This is the static half of the paper's omniscience: the adversary reads
+    the deployment — which nodes it controls, which GAR the servers run and
+    the ``f`` it is configured for, the quorum sizes — at bind time.  The
+    dynamic half (gradients, models) arrives per round as a
+    :class:`RoundObservation`.
+    """
+
+    seed: int
+    worker_ids: List[str]
+    server_ids: List[str]
+    #: the Byzantine nodes this adversary controls, in cluster-index order
+    byzantine_workers: List[str]
+    byzantine_servers: List[str]
+    gradient_rule_name: str = "multi_krum"
+    #: the *actual* GAR instance the correct servers aggregate with
+    gradient_rule: Optional[object] = None
+    declared_byzantine_workers: int = 0
+    declared_byzantine_servers: int = 0
+    gradient_quorum: int = 0
+    model_quorum: int = 0
+
+    def honest_workers(self) -> List[str]:
+        """Worker ids the adversary does *not* control, in cluster order."""
+        controlled = set(self.byzantine_workers)
+        return [wid for wid in self.worker_ids if wid not in controlled]
+
+
+@dataclass
+class RoundObservation:
+    """What the omniscient adversary sees in one protocol round.
+
+    ``honest_gradients`` are the correct workers' gradients of the round in
+    cluster-index order (empty when the runtime cannot expose them — see
+    the sequential-fallback notes in ``docs/adversaries.md``); ``model`` is
+    the parameter vector the observing Byzantine worker computed its honest
+    gradient at (``None`` under the threaded runtime's observation board,
+    where exposing one racing thread's model would make plans
+    scheduler-dependent).  ``rng`` is derived from ``(seed, step)`` so
+    draws are independent of call order — see the module docstring.
+    """
+
+    step: int
+    honest_gradients: List[np.ndarray] = field(default_factory=list)
+    model: Optional[np.ndarray] = None
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def honest_mean(self) -> Optional[np.ndarray]:
+        if not self.honest_gradients:
+            return None
+        return np.stack(self.honest_gradients).mean(axis=0)
+
+
+#: marker distinguishing "behave honestly" from "stay silent" (``None``)
+_HONEST = object()
+
+
+@dataclass
+class RoundPlan:
+    """The adversary's decision for one round.
+
+    ``payloads`` maps a Byzantine worker id to the vector it submits
+    (``None`` = silence).  Workers absent from the map fall back to
+    ``fallback_scale * honest_gradient`` when a scale is set, or to honest
+    behaviour otherwise — the fallback is what keeps an adversary dangerous
+    on rounds where no honest gradients were observable.
+    """
+
+    payloads: Dict[str, Optional[np.ndarray]] = field(default_factory=dict)
+    fallback_scale: Optional[float] = None
+
+    def payload_for(self, node_id: str,
+                    honest_value: np.ndarray) -> Optional[np.ndarray]:
+        payload = self.payloads.get(node_id, _HONEST)
+        if payload is _HONEST:
+            if self.fallback_scale is not None:
+                return self.fallback_scale * honest_value
+            return honest_value
+        return payload
+
+
+HONEST_PLAN = RoundPlan()
+
+
+class Adversary:
+    """A stateful entity controlling every Byzantine node of one run.
+
+    Subclasses implement :meth:`plan_round` (coordinated adversaries) or
+    the per-call hooks (:meth:`worker_gradient` / :meth:`server_model`,
+    used when :attr:`requires_observation` is ``False``).  Instances are
+    single-run: :meth:`bind` installs the run's :class:`RunBinding` and is
+    called exactly once by the runtime wiring.
+    """
+
+    name: str = "abstract_adversary"
+    #: whether the adversary needs the round's honest gradients before it
+    #: can corrupt (drives the observation plumbing in the runtimes)
+    requires_observation: bool = True
+    #: whether this adversary corrupts worker gradients / server models
+    attacks_workers: bool = True
+    attacks_servers: bool = False
+
+    def __init__(self) -> None:
+        self.binding: Optional[RunBinding] = None
+
+    def bind(self, binding: RunBinding) -> None:
+        """Attach the run's static knowledge; one binding per instance."""
+        if self.binding is not None:
+            raise RuntimeError(
+                f"adversary '{self.name}' is already bound to a run; "
+                f"build a fresh instance per run")
+        self.binding = binding
+
+    # ------------------------------------------------------------------ #
+    # Coordinated path (requires_observation = True)
+    # ------------------------------------------------------------------ #
+    def plan_round(self, observation: RoundObservation) -> RoundPlan:
+        """Decide what every controlled worker submits this round."""
+        raise NotImplementedError
+
+    def observation_needed(self, step: int) -> bool:
+        """Whether this round's plan actually depends on the observation.
+
+        The threaded runtime's observation board blocks Byzantine threads
+        until every honest gradient of the step is published; time-coupled
+        adversaries override this to skip that wait during their dormant
+        windows (where :meth:`plan_round` returns the honest plan no
+        matter what was observed).
+        """
+        return self.requires_observation
+
+    # ------------------------------------------------------------------ #
+    # Per-call path (requires_observation = False, e.g. legacy wrappers)
+    # ------------------------------------------------------------------ #
+    def worker_gradient(self,
+                        context: AttackContext) -> Optional[np.ndarray]:
+        """Gradient a controlled worker sends (per-call adversaries only)."""
+        return context.honest_value
+
+    def poison_batch(self, features: np.ndarray, labels: np.ndarray,
+                     context: AttackContext):
+        """Optional data poisoning hook (mirrors ``WorkerAttack``)."""
+        return features, labels
+
+    # ------------------------------------------------------------------ #
+    # Server side (never needs the round plan: phase 1 precedes gradients)
+    # ------------------------------------------------------------------ #
+    def server_model(self, context: AttackContext) -> Optional[np.ndarray]:
+        """Model a controlled server sends; default: behave honestly."""
+        return context.honest_value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}()"
+
+
+class StatelessAdversary(Adversary):
+    """A legacy per-node attack lifted into the adversary interface.
+
+    The wrapper is deliberately transparent: the wrapped attack receives
+    the exact :class:`AttackContext` (including the node's own generator)
+    the legacy seam would have handed it, so a scenario run through
+    ``adversary="sign_flip"`` is bit-identical to the same scenario run
+    through ``worker_attack="sign_flip"``.
+    """
+
+    requires_observation = False
+
+    def __init__(self, attack) -> None:
+        super().__init__()
+        if not isinstance(attack, (WorkerAttack, ServerAttack)):
+            raise TypeError(
+                f"StatelessAdversary wraps WorkerAttack/ServerAttack "
+                f"instances, got {type(attack).__name__}")
+        self.attack = attack
+        self.name = attack.name
+        self.attacks_workers = isinstance(attack, WorkerAttack)
+        self.attacks_servers = isinstance(attack, ServerAttack)
+
+    def worker_gradient(self, context: AttackContext) -> Optional[np.ndarray]:
+        if isinstance(self.attack, WorkerAttack):
+            return self.attack.corrupt_gradient(context)
+        return context.honest_value
+
+    def poison_batch(self, features, labels, context: AttackContext):
+        if isinstance(self.attack, WorkerAttack):
+            return self.attack.poison_batch(features, labels, context)
+        return features, labels
+
+    def server_model(self, context: AttackContext) -> Optional[np.ndarray]:
+        if isinstance(self.attack, ServerAttack):
+            return self.attack.corrupt_model(context)
+        return context.honest_value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StatelessAdversary({self.attack!r})"

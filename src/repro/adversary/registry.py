@@ -1,0 +1,61 @@
+"""Registry mapping adversary names to strategy classes.
+
+Any name in the legacy Byzantine attack registry resolves too: it is
+wrapped on the fly into a :class:`~repro.adversary.base.StatelessAdversary`
+whose behaviour is bit-identical to installing the attack through the
+legacy per-node seam — so every existing attack is usable wherever an
+adversary is expected, without duplicate registration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.adversary.base import Adversary, StatelessAdversary
+from repro.adversary.strategies import (
+    CollusionAdversary,
+    OmniscientDescentAdversary,
+    OscillatingAdversary,
+    SleeperAdversary,
+)
+from repro.byzantine.registry import available_attacks, get_attack
+
+_REGISTRY: Dict[str, Type[Adversary]] = {}
+
+
+def register_adversary(adversary_class: Type[Adversary]) -> Type[Adversary]:
+    """Register an adversary class under its :attr:`name` attribute."""
+    name = adversary_class.name
+    if not name or name.startswith("abstract"):
+        raise ValueError("adversary classes must define a non-empty 'name'")
+    if name in available_attacks():
+        raise ValueError(
+            f"adversary name '{name}' collides with a registered attack")
+    _REGISTRY[name] = adversary_class
+    return adversary_class
+
+
+for _adversary in (OmniscientDescentAdversary, CollusionAdversary,
+                   SleeperAdversary, OscillatingAdversary):
+    register_adversary(_adversary)
+
+
+def available_adversaries() -> List[str]:
+    """Names of the natively registered (stateful) adversaries, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_adversary(name: str, **kwargs) -> Adversary:
+    """Instantiate an adversary by name.
+
+    Native adversary names build their strategy class; legacy attack names
+    build the attack and wrap it as a stateless adversary.
+    """
+    adversary_class = _REGISTRY.get(name)
+    if adversary_class is not None:
+        return adversary_class(**kwargs)
+    if name in available_attacks():
+        return StatelessAdversary(get_attack(name, **kwargs))
+    raise KeyError(
+        f"unknown adversary '{name}'; native: {available_adversaries()}, "
+        f"wrappable attacks: {available_attacks()}")

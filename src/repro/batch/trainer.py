@@ -271,6 +271,7 @@ class BatchedGuanYuTrainer:
                               if base.worker_attack else None),
             "server_attack": (base.server_attack.name
                               if base.server_attack else None),
+            "adversary": base.adversary.name if base.adversary else None,
             "faults": base.faults.to_dict() if base.faults else None,
         }
         for lane in self.lanes:
@@ -299,10 +300,12 @@ class BatchedGuanYuTrainer:
                          if spec.worker_attack else None)
         server_attack = (spec.server_attack.build()
                          if spec.server_attack else None)
+        adversary = spec.adversary.build() if spec.adversary else None
         validate_attack_counts(self.config, worker_attack,
                                spec.resolved_num_attacking_workers(),
                                server_attack,
-                               spec.resolved_num_attacking_servers())
+                               spec.resolved_num_attacking_servers(),
+                               adversary=adversary)
 
         shards = shard_dataset(train, len(self.worker_ids),
                                strategy=spec.sharding, seed=spec.seed)
@@ -315,14 +318,18 @@ class BatchedGuanYuTrainer:
         lane.server_rngs = [np.random.default_rng(spec.seed + 3000 + index)
                             for index in range(len(self.server_ids))]
 
-        lane.worker_attacks = {
-            worker_id: (worker_attack
-                        if worker_id in self.attacking_workers else None)
-            for worker_id in self.worker_ids}
-        lane.server_attacks = {
-            server_id: (server_attack
-                        if server_id in self.attacking_servers else None)
-            for server_id in self.server_ids}
+        # Each replica owns a full, independent attack/adversary set (state
+        # and derived randomness keyed by the lane's own seed), replayed in
+        # the same order the sequential trainer would have driven it.
+        from repro.adversary.engine import wire_attacks  # lazy: mirrors trainers
+
+        _, lane.worker_attacks, lane.server_attacks, _, _ = wire_attacks(
+            config=self.config, seed=spec.seed,
+            worker_attack=worker_attack,
+            num_attacking_workers=spec.resolved_num_attacking_workers(),
+            server_attack=server_attack,
+            num_attacking_servers=spec.resolved_num_attacking_servers(),
+            gradient_rule_name=self.gradient_rule_name, adversary=adversary)
         if lane.fault_controller is not None:
             for node_id in [*self.worker_ids, *self.server_ids]:
                 attacks = (lane.worker_attacks if node_id in
@@ -499,6 +506,8 @@ class BatchedGuanYuTrainer:
         gradient_stack: Dict[int, np.ndarray] = {}
         loss_stack: Dict[int, np.ndarray] = {}
         batch_sizes: Dict[int, int] = {}
+        #: per-attacking-worker aggregated models (observable by adversaries)
+        model_stack: Dict[int, np.ndarray] = {}
         active_worker_indices = [index for index, worker_id
                                  in enumerate(self.worker_ids)
                                  if worker_id in active_workers]
@@ -525,6 +534,8 @@ class BatchedGuanYuTrainer:
                 aggregated, features_batch, labels_batch)
             gradient_stack[w_index] = gradients
             loss_stack[w_index] = losses
+            if worker_id in self.attacking_workers:
+                model_stack[w_index] = aggregated
             batch_sizes[w_index] = labels_batch.shape[1]
             compute_time = (cost.median_time(config.model_quorum, d)
                             + cost.gradient_time(batch_sizes[w_index], d))
@@ -560,7 +571,8 @@ class BatchedGuanYuTrainer:
                             lane.worker_attacks[worker_id],
                             lane.worker_rngs[w_index], result, step_index,
                             peer_gradients=peer_gradients[r],
-                            recipient=server_id)
+                            recipient=server_id,
+                            model=model_stack[w_index][r])
                         if value is not None:
                             payloads[r] = value
                             present[r] = True

@@ -1,0 +1,119 @@
+"""Adversary-engine micro-benchmark: per-round overhead vs legacy attacks.
+
+Times the same small GuanYu scenario four ways — honest, legacy stateless
+attack (``little_is_enough`` through the per-node seam), the collusion
+adversary, and the omniscient inner-optimisation adversary — and reports
+the per-round cost each adds over the honest run.  The interesting number
+is the omniscient adversary's inner search (a few dozen GAR evaluations
+per round); the engine itself (coordinator, plan cache, adapters) should
+be noise.
+
+Writes ``BENCH_adversary.json``; CI uploads it as an artifact next to
+``BENCH_aggregation.json`` so the overhead trajectory is comparable across
+commits.
+
+Usage::
+
+    python -m repro.benchtools.bench_adversary --steps 30 \
+        --output BENCH_adversary.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+
+def _time_scenario(spec) -> float:
+    from repro.campaign.engine import execute_scenario
+
+    started = time.perf_counter()
+    execute_scenario(spec)
+    return time.perf_counter() - started
+
+
+def run_benchmark(steps: int = 30, repeats: int = 1) -> Dict:
+    """Time honest / legacy / adversary variants; returns the report dict.
+
+    ``repeats > 1`` keeps the best run per variant (the usual defence
+    against noisy-neighbour intervals on shared CI runners).
+    """
+    from repro.campaign.spec import ScenarioSpec
+
+    repeats = max(repeats, 1)
+    variants = {
+        "honest": {},
+        "legacy_little_is_enough": {
+            "worker_attack": {"name": "little_is_enough"}},
+        "adversary_collusion": {"adversary": {"name": "collusion"}},
+        "adversary_omniscient": {
+            "adversary": {"name": "omniscient_descent"}},
+    }
+    seconds: Dict[str, float] = {name: float("inf") for name in variants}
+    for _ in range(repeats):
+        for name, fields in variants.items():
+            spec = ScenarioSpec(name=name, num_steps=steps, **fields)
+            seconds[name] = min(seconds[name], _time_scenario(spec))
+
+    honest = seconds["honest"]
+    report = {
+        "benchmark": "adversary_overhead",
+        "steps": steps,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "variants": {
+            name: {
+                "seconds": value,
+                "seconds_per_round": value / steps,
+                "overhead_vs_honest_per_round": (value - honest) / steps,
+                "relative_to_honest": value / honest if honest > 0 else None,
+            }
+            for name, value in seconds.items()
+        },
+    }
+    legacy = seconds["legacy_little_is_enough"]
+    report["engine_overhead_per_round"] = (
+        (seconds["adversary_collusion"] - legacy) / steps)
+    return report
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="adversary-engine per-round overhead benchmark")
+    parser.add_argument("--steps", type=int, default=30)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--output", default="BENCH_adversary.json")
+    parser.add_argument("--max-slowdown", type=float, default=None,
+                        help="fail when the omniscient adversary is slower "
+                             "than this factor of the honest run")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(steps=args.steps, repeats=args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+
+    for name, row in report["variants"].items():
+        print(f"{name:<26} {row['seconds']:.3f}s "
+              f"({row['seconds_per_round'] * 1000:.2f} ms/round, "
+              f"{row['relative_to_honest']:.2f}x honest)")
+    print(f"engine overhead (collusion vs legacy): "
+          f"{report['engine_overhead_per_round'] * 1000:.3f} ms/round")
+    print(f"wrote {args.output}")
+
+    if args.max_slowdown is not None:
+        slowdown = report["variants"]["adversary_omniscient"][
+            "relative_to_honest"]
+        if slowdown > args.max_slowdown:
+            print(f"FAIL: omniscient adversary is {slowdown:.2f}x honest "
+                  f"(limit {args.max_slowdown:.2f}x)", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

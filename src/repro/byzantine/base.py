@@ -37,6 +37,15 @@ class AttackContext:
     recipient:
         Identifier of the node the message is being sent to; equivocation
         attacks send different values to different recipients.
+    model:
+        The parameter vector the sending node currently holds (the model a
+        Byzantine worker computed its honest gradient at) — part of the
+        paper's omniscient observation set, exposed to the stateful
+        adversaries of :mod:`repro.adversary` via
+        ``RoundObservation.model``.  The built-in strategies do not consume
+        it yet; it costs nothing to pass (the trainers hand over a vector
+        they already hold).  ``None`` where the caller has no model in
+        scope.
     """
 
     step: int
@@ -44,6 +53,7 @@ class AttackContext:
     peer_values: Sequence[np.ndarray] = field(default_factory=list)
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
     recipient: Optional[str] = None
+    model: Optional[np.ndarray] = None
 
 
 class WorkerAttack:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional
 
 import numpy as np
@@ -62,8 +63,13 @@ class EquivocationAttack(ServerAttack):
 
     def corrupt_model(self, context: AttackContext) -> np.ndarray:
         # Derive a deterministic per-recipient direction so that the same
-        # recipient consistently receives the same lie within a step.
-        recipient_seed = hash((context.recipient, context.step)) % (2 ** 32)
+        # recipient consistently receives the same lie within a step.  The
+        # seed is a stable digest, not Python's per-process-salted hash():
+        # results must be bit-reproducible across processes (the campaign
+        # engine runs scenarios in multiprocessing pool workers).
+        material = f"{context.recipient}|{context.step}".encode("utf-8")
+        recipient_seed = int.from_bytes(
+            hashlib.sha256(material).digest()[:4], "big")
         recipient_rng = np.random.default_rng(recipient_seed)
         direction = recipient_rng.normal(0.0, 1.0, size=context.honest_value.shape)
         norm = np.linalg.norm(direction)

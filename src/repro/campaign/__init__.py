@@ -20,6 +20,7 @@ The legacy experiment harnesses (``run_attack_sweep``, ``run_gar_ablation``,
 """
 
 from repro.campaign.spec import (
+    AdversarySpec,
     AttackSpec,
     CampaignSpec,
     ScenarioSpec,
@@ -37,6 +38,7 @@ from repro.campaign.engine import (
 from repro.campaign.store import ResultStore, StoredResult
 
 __all__ = [
+    "AdversarySpec",
     "AttackSpec",
     "ScenarioSpec",
     "CampaignSpec",

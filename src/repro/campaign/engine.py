@@ -105,6 +105,7 @@ def build_trainer(spec: ScenarioSpec):
     train, test, model_fn, schedule = build_scale_bundle(spec.to_scale())
     worker_attack = spec.worker_attack.build() if spec.worker_attack else None
     server_attack = spec.server_attack.build() if spec.server_attack else None
+    adversary = spec.adversary.build() if spec.adversary else None
 
     if spec.trainer == "guanyu":
         return GuanYuTrainer(
@@ -114,6 +115,7 @@ def build_trainer(spec: ScenarioSpec):
             num_attacking_workers=spec.resolved_num_attacking_workers(),
             server_attack=server_attack,
             num_attacking_servers=spec.resolved_num_attacking_servers(),
+            adversary=adversary,
             gradient_rule_name=spec.gradient_rule,
             model_rule_name=spec.model_rule,
             batch_size=spec.batch_size, schedule=schedule,
@@ -156,6 +158,7 @@ def build_trainer(spec: ScenarioSpec):
             num_attacking_workers=spec.resolved_num_attacking_workers(),
             server_attack=server_attack,
             num_attacking_servers=spec.resolved_num_attacking_servers(),
+            adversary=adversary,
             gradient_rule_name=spec.gradient_rule,
             model_rule_name=spec.model_rule,
             jitter=spec.jitter, quorum_timeout=spec.quorum_timeout,

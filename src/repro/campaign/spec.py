@@ -25,6 +25,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.adversary.base import Adversary
+from repro.adversary.registry import available_adversaries, get_adversary
 from repro.aggregation import available_rules, get_rule
 from repro.byzantine.base import ServerAttack, WorkerAttack
 from repro.byzantine.registry import available_attacks, get_attack
@@ -132,6 +134,54 @@ class AttackSpec:
         return spec
 
 
+@dataclass
+class AdversarySpec:
+    """A registered adversary by name plus constructor keyword arguments.
+
+    Names resolve through :func:`repro.adversary.registry.get_adversary`:
+    the native stateful adversaries first, then any legacy attack name
+    (wrapped on the fly into a stateless adversary), so
+    ``AdversarySpec("sign_flip")`` describes the same run as the legacy
+    ``worker_attack`` field.  ``kwargs`` must stay JSON-serialisable —
+    nested references (e.g. the sleeper's inner strategy) are plain
+    name/kwargs dictionaries.
+    """
+
+    name: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Adversary:
+        """Instantiate a fresh single-run adversary.
+
+        Raises ``ValueError`` (not ``TypeError``) on bad keyword arguments,
+        matching :meth:`AttackSpec.build` so spec validation and the CLI
+        error paths treat a misspelled kwarg like any other invalid spec.
+        """
+        try:
+            return get_adversary(self.name, **self.kwargs)
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid kwargs for adversary '{self.name}': {exc}") from exc
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kwargs": dict(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AdversarySpec":
+        return cls(name=payload["name"], kwargs=dict(payload.get("kwargs", {})))
+
+
+def _coerce_adversary(value: Union[None, str, Dict, AdversarySpec]
+                      ) -> Optional[AdversarySpec]:
+    if value is None or isinstance(value, AdversarySpec):
+        return value
+    if isinstance(value, str):
+        return AdversarySpec(name=value)
+    if isinstance(value, dict):
+        return AdversarySpec.from_dict(value)
+    raise TypeError(f"cannot interpret {value!r} as an adversary spec")
+
+
 def _coerce_attack(value: Union[None, str, Dict, AttackSpec]) -> Optional[AttackSpec]:
     if value is None or isinstance(value, AttackSpec):
         return value
@@ -190,6 +240,9 @@ class ScenarioSpec:
     num_attacking_workers: Optional[int] = None
     server_attack: Optional[AttackSpec] = None
     num_attacking_servers: Optional[int] = None
+    #: stateful coordinated adversary (mutually exclusive with the legacy
+    #: per-node attack fields; absent ≡ legacy behaviour, also for hashing)
+    adversary: Optional[AdversarySpec] = None
 
     # -- network delay / computation cost ---------------------------------- #
     delay_model: str = "uniform"
@@ -226,20 +279,47 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         self.worker_attack = _coerce_attack(self.worker_attack)
         self.server_attack = _coerce_attack(self.server_attack)
+        self.adversary = _coerce_adversary(self.adversary)
         self.faults = _coerce_faults(self.faults)
 
     # ------------------------------------------------------------------ #
     # Derived values
     # ------------------------------------------------------------------ #
+    def _adversary_sides(self) -> tuple:
+        """``(attacks_workers, attacks_servers)`` of the adversary (if any).
+
+        Building an adversary (inner strategies, gating controllers) just
+        to read two booleans is wasteful across a sweep's many
+        ``resolved_num_attacking_*``/``validate`` calls, so the answer is
+        cached per adversary configuration on this spec instance (the
+        cache is plain instance state: dataclass equality, ``asdict`` and
+        ``replace`` all ignore it).
+        """
+        if self.adversary is None:
+            return False, False
+        key = (self.adversary.name,
+               json.dumps(self.adversary.kwargs, sort_keys=True, default=str))
+        cached = getattr(self, "_adversary_sides_cache", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        adversary = self.adversary.build()
+        sides = (adversary.attacks_workers, adversary.attacks_servers)
+        self._adversary_sides_cache = (key, sides)
+        return sides
+
     def resolved_num_attacking_workers(self) -> int:
-        if self.worker_attack is None:
+        if self.worker_attack is None and self.adversary is None:
+            return 0
+        if self.adversary is not None and not self._adversary_sides()[0]:
             return 0
         if self.num_attacking_workers is not None:
             return self.num_attacking_workers
         return self.declared_byzantine_workers
 
     def resolved_num_attacking_servers(self) -> int:
-        if self.server_attack is None:
+        if self.server_attack is None and self.adversary is None:
+            return 0
+        if self.adversary is not None and not self._adversary_sides()[1]:
             return 0
         if self.num_attacking_servers is not None:
             return self.num_attacking_servers
@@ -298,9 +378,30 @@ class ScenarioSpec:
         for count in (self.num_attacking_workers, self.num_attacking_servers):
             if count is not None and count < 0:
                 raise ValueError("attacker counts must be non-negative")
-        if self.num_attacking_workers and self.worker_attack is None:
+        adversary_workers = adversary_servers = False
+        if self.adversary is not None:
+            if self.worker_attack is not None or self.server_attack is not None:
+                raise ValueError(
+                    "give either an adversary or legacy per-node attacks, "
+                    "not both")
+            if self.trainer not in ("guanyu", "guanyu_threaded"):
+                raise ValueError(
+                    "adversaries model the paper's full threat model and "
+                    "apply only to the GuanYu trainers; the single-server "
+                    "baselines take a worker_attack instead")
+            known = (self.adversary.name in available_adversaries()
+                     or self.adversary.name in available_attacks())
+            if not known:
+                raise ValueError(
+                    f"unknown adversary '{self.adversary.name}'; native: "
+                    f"{available_adversaries()}, wrappable attacks: "
+                    f"{available_attacks()}")
+            adversary_workers, adversary_servers = self._adversary_sides()
+        if self.num_attacking_workers and self.worker_attack is None \
+                and not adversary_workers:
             raise ValueError("num_attacking_workers > 0 requires a worker_attack")
-        if self.num_attacking_servers and self.server_attack is None:
+        if self.num_attacking_servers and self.server_attack is None \
+                and not adversary_servers:
             raise ValueError("num_attacking_servers > 0 requires a server_attack")
 
         worker_attack = server_attack = None
@@ -428,6 +529,8 @@ class ScenarioSpec:
                                     if self.worker_attack else None)
         payload["server_attack"] = (self.server_attack.to_dict()
                                     if self.server_attack else None)
+        payload["adversary"] = (self.adversary.to_dict()
+                                if self.adversary else None)
         # Canonical compact form (defaulted event fields omitted) so that
         # equal schedules serialise — and therefore hash — identically.
         payload["faults"] = self.faults.to_dict() if self.faults else None
@@ -456,11 +559,15 @@ class ScenarioSpec:
         or harness chose to name them.  An absent ``faults`` schedule is
         excluded too: fault-free specs keep the addresses they had before
         fault injection existed, and the hash changes iff the schedule does.
+        The same absent≡legacy rule applies to ``adversary``, so stores
+        filled before the adversary engine existed stay valid.
         """
         payload = self.to_dict()
         del payload["name"]
         if payload["faults"] is None:
             del payload["faults"]
+        if payload["adversary"] is None:
+            del payload["adversary"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -478,6 +585,8 @@ class ScenarioSpec:
         del payload["seed"]
         if payload["faults"] is None:
             del payload["faults"]
+        if payload["adversary"] is None:
+            del payload["adversary"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

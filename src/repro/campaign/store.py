@@ -51,6 +51,7 @@ class StoredResult:
             "gradient_rule": spec.gradient_rule,
             "worker_attack": spec.worker_attack.name if spec.worker_attack else None,
             "server_attack": spec.server_attack.name if spec.server_attack else None,
+            "adversary": spec.adversary.name if spec.adversary else None,
             "workers": spec.num_workers,
             "seed": spec.seed,
             "fault_events": len(spec.faults.events) if spec.faults else 0,

@@ -8,13 +8,16 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli table2
     python -m repro.cli overhead
     python -m repro.cli attacks
+    python -m repro.cli attack-sweep
     python -m repro.cli scaling --workers 6 9 12 18
     python -m repro.cli quorums
     python -m repro.cli list
     python -m repro.cli sweep --gars multi_krum median \
         --attacks random_gradient sign_flip --seeds 0 1 --store results/
+    python -m repro.cli sweep --adversaries omniscient_descent collusion
     python -m repro.cli resilience --mode crash --crashes 0 1 2 3
     python -m repro.cli resilience --mode partition --heal-steps 20 30 40
+    python -m repro.cli breakdown --gars mean median multi_krum
 
 Every subcommand prints the regenerated table/figure as text (and an ASCII
 chart where the paper has a figure); ``--json PATH`` additionally writes the
@@ -22,9 +25,11 @@ raw histories/rows for downstream plotting.  ``sweep`` runs a declarative
 scenario campaign (grid flags or a ``--spec`` JSON file) through the
 campaign engine — in parallel, with content-addressed result caching when
 ``--store`` is given; ``--faults FILE`` attaches a fault schedule to every
-grid cell.  ``resilience`` runs the canned crash-vs-quorum and
-partition-heal fault studies; ``list`` prints the registries sweep specs
-draw from.
+grid cell and ``--adversaries`` sweeps stateful coordinated adversaries as
+a grid axis.  ``resilience`` runs the canned crash-vs-quorum and
+partition-heal fault studies; ``breakdown`` bisects the empirical
+breakdown point of each GAR under each adversary; ``attacks`` and ``list``
+print the registries sweep specs draw from.
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ from repro.campaign import (
     available_trainers,
     run_campaign,
 )
-from repro.experiments.common import workload_num_classes
+from repro.experiments.common import workload_attack_kwargs
 from repro.experiments import (
     ExperimentScale,
     overhead_report,
@@ -160,12 +165,49 @@ def cmd_overhead(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_attacks(args: argparse.Namespace) -> int:
+def cmd_attack_sweep(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     histories = run_attack_sweep(scale=scale)
     print("Attack sweep — GuanYu under every registered attack\n")
     print(histories_summary_table(histories))
     _dump_json(args.json, _histories_payload(histories))
+    return 0
+
+
+def cmd_attacks(args: argparse.Namespace) -> int:
+    """List the registered attacks and adversaries (name, kind, parameters)."""
+    import inspect
+
+    from repro.adversary.registry import available_adversaries, get_adversary
+
+    def parameters_of(obj) -> str:
+        signature = inspect.signature(type(obj).__init__)
+        parts = []
+        for parameter in list(signature.parameters.values())[1:]:  # skip self
+            if parameter.kind in (inspect.Parameter.VAR_POSITIONAL,
+                                  inspect.Parameter.VAR_KEYWORD):
+                continue  # attacks without an __init__ inherit object's
+            if parameter.default is inspect.Parameter.empty:
+                parts.append(parameter.name)
+            else:
+                parts.append(f"{parameter.name}={parameter.default!r}")
+        return ", ".join(parts) if parts else "-"
+
+    rows = []
+    for name in available_attacks():
+        attack = get_attack(name)
+        kind = ("worker-attack" if isinstance(attack, WorkerAttack)
+                else "server-attack")
+        rows.append((name, kind, parameters_of(attack)))
+    for name in available_adversaries():
+        rows.append((name, "adversary", parameters_of(get_adversary(name))))
+
+    print("Registered attacks and adversaries "
+          "(legacy attack names also resolve as stateless adversaries):\n")
+    for name, kind, parameters in rows:
+        print(f"  {name:<20} [{kind:<13}] {parameters}")
+    _dump_json(args.json, [{"name": name, "kind": kind, "parameters": params}
+                           for name, kind, params in rows])
     return 0
 
 
@@ -215,6 +257,15 @@ def cmd_list(args: argparse.Namespace) -> int:
         role = "worker" if isinstance(attack, WorkerAttack) else "server"
         print(f"  {name:<18} [{role:<13}] {first_doc_line(type(attack))}")
 
+    from repro.adversary.registry import available_adversaries, get_adversary
+
+    print("\nAdversaries (stateful, coordinated; legacy attack names also "
+          "resolve):")
+    for name in available_adversaries():
+        adversary = get_adversary(name)
+        print(f"  {name:<18} [{'adversary':<13}] "
+              f"{first_doc_line(type(adversary))}")
+
     print(f"\nTrainers:     {', '.join(available_trainers())}")
     print(f"Delay models: {', '.join(available_delay_models())}")
     print(f"Cost models:  {', '.join(available_cost_models())}")
@@ -227,10 +278,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 def _attack_axis_entry(attack_name: str, base: ScenarioSpec) -> Dict:
     """Grid-axis patch selecting one attack (worker or server side)."""
     attack = get_attack(attack_name)  # raises on unknown names
-    kwargs: Dict[str, object] = {}
-    if attack_name == "label_flip":
-        # Flip within the sweep workload's label range, not the default 10.
-        kwargs["num_classes"] = workload_num_classes(base.dataset)
+    kwargs = workload_attack_kwargs(attack_name, base.dataset)
     entry: Dict[str, object] = {"_name": attack_name,
                                 "worker_attack": None, "server_attack": None}
     side = "worker_attack" if isinstance(attack, WorkerAttack) else "server_attack"
@@ -264,6 +312,28 @@ def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
         grid["gradient_rule"] = list(args.gars)
     if args.attacks:
         grid["attack"] = [_attack_axis_entry(name, base) for name in args.attacks]
+    if args.adversaries:
+        if args.attacks:
+            # An adversary cell would override the attack cell's fields and
+            # the two axes would collapse into duplicate content addresses
+            # under misleading names — sweep them as separate campaigns, or
+            # put legacy attack names directly on the adversary axis.
+            raise ValueError(
+                "--attacks and --adversaries cannot be combined: both set "
+                "the scenario's Byzantine behaviour; legacy attack names "
+                "are valid --adversaries values")
+        from repro.adversary.registry import get_adversary
+
+        for name in args.adversaries:
+            get_adversary(name, **workload_attack_kwargs(
+                name, base.dataset))  # raises on typos
+        grid["adversary"] = [
+            {"_name": name,
+             "adversary": {"name": name,
+                           "kwargs": workload_attack_kwargs(name,
+                                                            base.dataset)},
+             "worker_attack": None, "server_attack": None}
+            for name in args.adversaries]
     if args.seeds:
         grid["seed"] = list(args.seeds)
     if args.workers_grid:
@@ -354,6 +424,40 @@ def cmd_resilience(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Breakdown subcommand (adversary engine)
+# --------------------------------------------------------------------------- #
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.experiments.breakdown import (
+        breakdown_table,
+        run_breakdown_search,
+    )
+
+    scale = _scale_from_args(args)
+    try:
+        store = ResultStore(args.store) if args.store else None
+    except OSError as exc:
+        print(f"error: unusable store path: {exc}", file=sys.stderr)
+        return 2
+    results = run_breakdown_search(
+        scale=scale, gars=tuple(args.gars), adversaries=tuple(args.adversaries),
+        loss_factor=args.loss_factor, loss_slack=args.loss_slack, store=store)
+    rows = breakdown_table(results)
+    print("Breakdown-point search — largest attacker count each GAR "
+          "survives\n(admissible_f is the n̄ ≥ 3f̄ + 3 ceiling of the "
+          "cluster arithmetic)\n")
+    print(format_table(rows, float_format="{:.4f}"))
+    if store is not None:
+        print(f"\nresult store: {store.root} ({len(store)} entries)")
+    _dump_json(args.json, {
+        "rows": rows,
+        "losses": [{"gradient_rule": result.gradient_rule,
+                    "adversary": result.adversary,
+                    "losses": result.losses} for result in results],
+    })
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -392,8 +496,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("overhead", help="Section 5.3 overhead breakdown") \
         .set_defaults(func=cmd_overhead)
-    subparsers.add_parser("attacks", help="attack sweep ablation") \
+    subparsers.add_parser(
+        "attacks",
+        help="list registered attacks and adversaries (name, kind, params)") \
         .set_defaults(func=cmd_attacks)
+    subparsers.add_parser("attack-sweep", help="attack sweep ablation") \
+        .set_defaults(func=cmd_attack_sweep)
     subparsers.add_parser("gars", help="aggregation-rule ablation") \
         .set_defaults(func=cmd_gars)
     subparsers.add_parser("quorums", help="quorum-size ablation") \
@@ -418,6 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gradient aggregation rules to sweep over")
     sweep.add_argument("--attacks", nargs="+", default=None, metavar="ATTACK",
                        help="registered attacks to sweep over")
+    sweep.add_argument("--adversaries", nargs="+", default=None,
+                       metavar="ADVERSARY",
+                       help="stateful adversaries (or wrapped legacy attack "
+                            "names) to sweep over")
     sweep.add_argument("--seeds", type=int, nargs="+", default=None,
                        help="seeds to sweep over")
     sweep.add_argument("--workers-grid", type=int, nargs="+", default=None,
@@ -461,6 +573,26 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--processes", type=int, default=None,
                             help="pool size (default: serial)")
     resilience.set_defaults(func=cmd_resilience)
+
+    breakdown = subparsers.add_parser(
+        "breakdown",
+        help="bisect the largest attacker count each GAR survives under "
+             "each adversary (empirical breakdown points)")
+    breakdown.add_argument("--gars", nargs="+", metavar="RULE",
+                           default=["mean", "median", "multi_krum"],
+                           help="gradient aggregation rules to probe")
+    breakdown.add_argument("--adversaries", nargs="+", metavar="ADVERSARY",
+                           default=["omniscient_descent", "collusion",
+                                    "reversed_gradient"],
+                           help="adversaries (or wrapped legacy attacks)")
+    breakdown.add_argument("--loss-factor", type=float, default=1.5,
+                           help="survival band: loss <= factor * baseline "
+                                "+ slack")
+    breakdown.add_argument("--loss-slack", type=float, default=0.25,
+                           help="additive slack of the survival band")
+    breakdown.add_argument("--store", default=None,
+                           help="result-store directory (caching/resume)")
+    breakdown.set_defaults(func=cmd_breakdown)
     return parser
 
 

@@ -36,19 +36,22 @@ class GradientResult:
 def apply_worker_attack(attack: Optional[WorkerAttack],
                         rng: np.random.Generator, result: GradientResult,
                         step: int, peer_gradients: Sequence[np.ndarray] = (),
-                        recipient: Optional[str] = None) -> Optional[np.ndarray]:
+                        recipient: Optional[str] = None,
+                        model: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
     """The gradient a (possibly Byzantine) worker actually sends.
 
     This is the single attack-application path shared by
     :meth:`WorkerNode.outgoing_gradient` and the batched multi-replica
     runtime (:mod:`repro.batch`), so both produce bit-identical corruption
-    for the same attack state and generator.
+    for the same attack state and generator.  ``model`` is the parameter
+    vector the gradient was computed at — observable by the omniscient
+    adversaries of :mod:`repro.adversary`.
     """
     if attack is None:
         return result.gradient
     context = AttackContext(step=step, honest_value=result.gradient,
                             peer_values=list(peer_gradients), rng=rng,
-                            recipient=recipient)
+                            recipient=recipient, model=model)
     return attack.corrupt_gradient(context)
 
 
@@ -113,6 +116,7 @@ class WorkerNode:
         self.criterion = CrossEntropyLoss()
         self._rng = np.random.default_rng(seed)
         self.last_result: Optional[GradientResult] = None
+        self._last_aggregated: Optional[np.ndarray] = None
 
     @property
     def is_byzantine(self) -> bool:
@@ -134,6 +138,7 @@ class WorkerNode:
         """
         aggregated = self.aggregate_models(parameter_vectors)
         self.model.set_flat_parameters(aggregated)
+        self._last_aggregated = aggregated
 
         features, labels = self.loader.next_batch()
         features, labels = poison_worker_batch(self.attack, self._rng,
@@ -159,9 +164,10 @@ class WorkerNode:
         workers route it through their attack (which may return ``None`` for
         silence).
         """
+        model = self._last_aggregated if self.attack is not None else None
         return apply_worker_attack(self.attack, self._rng, result, step,
                                    peer_gradients=peer_gradients,
-                                   recipient=recipient)
+                                   recipient=recipient, model=model)
 
 
 class ServerNode:

@@ -59,11 +59,21 @@ def validate_attack_counts(config: ClusterConfig,
                            worker_attack: Optional[WorkerAttack],
                            num_attacking_workers: int,
                            server_attack: Optional[ServerAttack],
-                           num_attacking_servers: int) -> None:
-    """Check attack counts against a cluster's declared Byzantine budget."""
-    if num_attacking_workers > 0 and worker_attack is None:
+                           num_attacking_servers: int,
+                           adversary=None) -> None:
+    """Check attack counts against a cluster's declared Byzantine budget.
+
+    An :class:`~repro.adversary.Adversary` satisfies the behaviour
+    requirement for whichever side(s) it attacks, in place of the legacy
+    per-node attacks.
+    """
+    adversary_workers = adversary is not None and adversary.attacks_workers
+    adversary_servers = adversary is not None and adversary.attacks_servers
+    if num_attacking_workers > 0 and worker_attack is None \
+            and not adversary_workers:
         raise ValueError("num_attacking_workers > 0 requires a worker_attack")
-    if num_attacking_servers > 0 and server_attack is None:
+    if num_attacking_servers > 0 and server_attack is None \
+            and not adversary_servers:
         raise ValueError("num_attacking_servers > 0 requires a server_attack")
     if num_attacking_workers > config.num_byzantine_workers:
         raise ValueError(
@@ -224,6 +234,12 @@ class GuanYuTrainer(DistributedTrainer):
     gradient_rule_name, model_rule_name:
         GARs used for phase 2 (default Multi-Krum) and phases 1/3 (default
         coordinate-wise median); exposed for the ablation benchmarks.
+    adversary:
+        Optional stateful :class:`~repro.adversary.Adversary` controlling
+        *all* actually-Byzantine nodes as one colluding entity (mutually
+        exclusive with the legacy per-node ``worker_attack`` /
+        ``server_attack``).  The attacking counts still come from
+        ``num_attacking_workers`` / ``num_attacking_servers``.
     fault_schedule:
         Optional time-varying faults (see :mod:`repro.faults`).  Crashed
         nodes skip their local computation and all traffic; quorums keep the
@@ -240,22 +256,30 @@ class GuanYuTrainer(DistributedTrainer):
                  num_attacking_servers: int = 0,
                  gradient_rule_name: str = "multi_krum",
                  model_rule_name: str = "median",
+                 adversary=None,
                  label: str = "guanyu", **kwargs) -> None:
         super().__init__(model_fn=model_fn, train_dataset=train_dataset,
                          test_dataset=test_dataset, label=label, **kwargs)
         self.config = config
+        self.adversary = adversary
         self._validate_attack_counts(worker_attack, num_attacking_workers,
-                                     server_attack, num_attacking_servers)
+                                     server_attack, num_attacking_servers,
+                                     adversary=adversary)
         self.gradient_rule_name = gradient_rule_name
         self.model_rule_name = model_rule_name
 
+        from repro.adversary.engine import wire_attacks  # lazy: heavy import
+
         worker_ids = config.worker_ids()
         server_ids = config.server_ids()
-        attacking_workers = attacking_node_ids(worker_ids, num_attacking_workers)
-        attacking_servers = attacking_node_ids(server_ids, num_attacking_servers)
-
-        worker_attacks = {wid: (worker_attack if wid in attacking_workers else None)
-                          for wid in worker_ids}
+        (self.adversary_coordinator, worker_attacks, server_attacks,
+         attacking_workers, attacking_servers) = wire_attacks(
+            config=config, seed=self.seed,
+            worker_attack=worker_attack,
+            num_attacking_workers=num_attacking_workers,
+            server_attack=server_attack,
+            num_attacking_servers=num_attacking_servers,
+            gradient_rule_name=gradient_rule_name, adversary=adversary)
         self.workers = self._build_workers(
             worker_ids, worker_attacks,
             model_aggregator_fn=lambda: get_rule(
@@ -264,7 +288,7 @@ class GuanYuTrainer(DistributedTrainer):
 
         self.servers: List[ServerNode] = []
         for index, server_id in enumerate(server_ids):
-            attack = server_attack if server_id in attacking_servers else None
+            attack = server_attacks[server_id]
             self.servers.append(ServerNode(
                 node_id=server_id,
                 model=self.model_fn(),
@@ -294,16 +318,18 @@ class GuanYuTrainer(DistributedTrainer):
             "num_attacking_servers": num_attacking_servers,
             "worker_attack": getattr(worker_attack, "name", None),
             "server_attack": getattr(server_attack, "name", None),
+            "adversary": getattr(adversary, "name", None),
             "faults": (self.fault_schedule.to_dict()
                        if self.fault_schedule else None),
         }
 
     # ------------------------------------------------------------------ #
     def _validate_attack_counts(self, worker_attack, num_attacking_workers,
-                                server_attack, num_attacking_servers) -> None:
+                                server_attack, num_attacking_servers,
+                                adversary=None) -> None:
         validate_attack_counts(self.config, worker_attack,
                                num_attacking_workers, server_attack,
-                               num_attacking_servers)
+                               num_attacking_servers, adversary=adversary)
 
     # ------------------------------------------------------------------ #
     @property

@@ -13,6 +13,7 @@ share exactly the same code:
 ``overhead``           the §5.3 overhead breakdown (65 % / ~30 % numbers)
 ``ablations``          GAR ablation, attack sweep, cluster-size scaling
 ``resilience``         crash-vs-quorum and partition-heal fault studies
+``breakdown``          empirical breakdown-point search per (GAR, adversary)
 =====================  ===========================================================
 
 The experiments run on a scaled-down workload (synthetic data, small models,
@@ -32,6 +33,11 @@ from repro.experiments.ablations import (
     run_gar_ablation,
     run_quorum_ablation,
     run_scaling_study,
+)
+from repro.experiments.breakdown import (
+    BreakdownResult,
+    breakdown_table,
+    run_breakdown_search,
 )
 from repro.experiments.resilience import (
     run_crash_quorum_study,
@@ -55,6 +61,9 @@ __all__ = [
     "run_attack_sweep",
     "run_quorum_ablation",
     "run_scaling_study",
+    "BreakdownResult",
+    "breakdown_table",
+    "run_breakdown_search",
     "run_crash_quorum_study",
     "run_partition_heal_study",
     "schedule_for_crashes",

@@ -91,6 +91,20 @@ def workload_num_classes(dataset: str) -> int:
     raise ValueError(f"unknown dataset '{dataset}'")
 
 
+def workload_attack_kwargs(name: str, dataset: str) -> dict:
+    """Workload-dependent constructor defaults for an attack/adversary name.
+
+    The one shared fix-up point for behaviours whose parameters must track
+    the workload — today only ``label_flip``, which must flip within the
+    dataset's label range rather than its default 10 classes.  Used by the
+    sweep CLI's ``--attacks`` and ``--adversaries`` axes and by the
+    breakdown search, so the same name always builds the same behaviour.
+    """
+    if name == "label_flip":
+        return {"num_classes": workload_num_classes(dataset)}
+    return {}
+
+
 def build_workload(scale: ExperimentScale) -> Tuple[Dataset, Dataset, int, int]:
     """Build the train/test datasets for a scale.
 

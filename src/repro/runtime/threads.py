@@ -193,6 +193,15 @@ class ThreadedClusterRuntime:
         progress at different wall-clock rates); crashed nodes sit out
         their steps, nodes partitioned away from a full quorum stall, and
         the remaining nodes keep making progress on quorums alone.
+    adversary:
+        Optional stateful :class:`~repro.adversary.Adversary` controlling
+        every actually-Byzantine node (mutually exclusive with the legacy
+        per-node attacks).  Adversaries that observe the round's honest
+        gradients are fed through an observation board: honest workers
+        publish each gradient as they compute it and the Byzantine node
+        threads block (bounded by ``quorum_timeout``) until the round is
+        fully observable — the in-process equivalent of the paper's
+        omniscient adversary reading every node's memory.
     """
 
     def __init__(self, config: ClusterConfig, model_fn: Callable[[], Module],
@@ -208,11 +217,24 @@ class ThreadedClusterRuntime:
                  straggler_sleep: Optional[Dict[str, float]] = None,
                  quorum_timeout: float = 60.0,
                  fault_schedule: Optional[FaultSchedule] = None,
+                 adversary=None,
                  seed: int = 0) -> None:
         if num_attacking_workers > config.num_byzantine_workers:
             raise ValueError("more attacking workers than declared Byzantine workers")
         if num_attacking_servers > config.num_byzantine_servers:
             raise ValueError("more attacking servers than declared Byzantine servers")
+        from repro.adversary.engine import wire_attacks  # lazy: heavy import
+
+        # Wiring first: mutual-exclusion errors must surface before any
+        # dataset/transport work happens.
+        (self.adversary_coordinator, worker_attacks, server_attacks,
+         attacking_workers, attacking_servers) = wire_attacks(
+            config=config, seed=seed,
+            worker_attack=worker_attack,
+            num_attacking_workers=num_attacking_workers,
+            server_attack=server_attack,
+            num_attacking_servers=num_attacking_servers,
+            gradient_rule_name=gradient_rule_name, adversary=adversary)
         self.config = config
         self.schedule = schedule if schedule is not None else ConstantSchedule(0.001)
         self.quorum_timeout = quorum_timeout
@@ -229,10 +251,17 @@ class ThreadedClusterRuntime:
                                            seed=seed, fault_controller=self.faults)
 
         shards = shard_dataset(train_dataset, len(worker_ids), seed=seed)
-        attacking_workers = set(worker_ids[len(worker_ids) - num_attacking_workers:]) \
-            if num_attacking_workers else set()
-        attacking_servers = set(server_ids[len(server_ids) - num_attacking_servers:]) \
-            if num_attacking_servers else set()
+
+        self.adversary = adversary
+        #: set only for adversaries that observe the round's gradients —
+        #: publishing to a board nobody reads would just accumulate copies
+        self._observation_board = None
+        if adversary is not None and adversary.requires_observation \
+                and attacking_workers:
+            self.adversary_coordinator.enable_board(
+                self._expected_publishers, timeout=quorum_timeout)
+            self._observation_board = self.adversary_coordinator
+        self._attacking_workers = attacking_workers
 
         self.workers = []
         for index, worker_id in enumerate(worker_ids):
@@ -242,7 +271,7 @@ class ThreadedClusterRuntime:
                 node_id=worker_id, model=model_fn(), loader=loader,
                 model_aggregator=get_rule(model_rule_name,
                                           num_byzantine=config.num_byzantine_servers),
-                attack=worker_attack if worker_id in attacking_workers else None,
+                attack=worker_attacks[worker_id],
                 seed=seed + 200 + index))
 
         self.servers = []
@@ -254,7 +283,7 @@ class ThreadedClusterRuntime:
                 model_aggregator=get_rule(model_rule_name,
                                           num_byzantine=config.num_byzantine_servers),
                 schedule=self.schedule,
-                attack=server_attack if server_id in attacking_servers else None,
+                attack=server_attacks[server_id],
                 seed=seed + 300 + index))
 
         if self.faults is not None:
@@ -263,6 +292,8 @@ class ThreadedClusterRuntime:
 
         self._history = TrainingHistory(label="guanyu-threaded",
                                         config={**config.as_dict(),
+                                                "adversary": getattr(adversary,
+                                                                     "name", None),
                                                 "faults": (fault_schedule.to_dict()
                                                            if fault_schedule
                                                            else None)})
@@ -279,6 +310,26 @@ class ThreadedClusterRuntime:
     def global_parameters(self) -> np.ndarray:
         vectors = [server.current_parameters() for server in self.correct_servers]
         return np.median(np.stack(vectors), axis=0)
+
+    # ------------------------------------------------------------------ #
+    def _expected_publishers(self, step: int) -> List[str]:
+        """Honest workers whose gradients the adversary can observe at a step.
+
+        Crashed or quorum-starved workers sit the step out and never
+        compute a gradient, so the observation board must not wait for
+        them — the participation fixpoint is the same one the runtimes use
+        to decide who stalls.
+        """
+        honest = [worker_id for worker_id in self.config.worker_ids()
+                  if worker_id not in self._attacking_workers]
+        if self.faults is None:
+            return honest
+        workers, _ = self.faults.participating_nodes(
+            self.config.worker_ids(), self.config.server_ids(),
+            self.config.model_quorum, self.config.gradient_quorum, step)
+        participating = set(workers)
+        return [worker_id for worker_id in honest
+                if worker_id in participating]
 
     # ------------------------------------------------------------------ #
     def _maybe_straggle(self, node_id: str) -> None:
@@ -320,6 +371,14 @@ class ThreadedClusterRuntime:
                 quorum=self.config.model_quorum, timeout=self.quorum_timeout)
             result = worker.compute_gradient(models, step)
             if not worker.is_byzantine:
+                board = self._observation_board
+                if board is not None \
+                        and board.adversary.observation_needed(step):
+                    # The omniscient adversary reads this worker's memory
+                    # (skipped on rounds whose plan ignores the
+                    # observation, e.g. a sleeper's dormant window — no
+                    # point copying gradients nobody will read).
+                    board.publish(worker.node_id, step, result.gradient)
                 with self._record_lock:
                     self._step_losses[step].append(result.loss)
             self._maybe_straggle(worker.node_id)

@@ -1,0 +1,223 @@
+"""Cross-runtime equivalence of the adversary engine.
+
+Two layers:
+
+* **end-to-end** — a scenario with a stateful adversary produces
+  bit-identical histories whether executed sequentially
+  (:class:`GuanYuTrainer`) or on the batched multi-replica runtime
+  (:mod:`repro.batch`), for every adversary family;
+* **engine-level** — the same adversary produces bit-identical corruption
+  when driven through the three runtime wirings: context-carried peers
+  (sequential), per-lane replay (batched) and the threaded observation
+  board fed from racing threads.  Full threaded *trajectories* are
+  wall-clock nondeterministic by design (quorums select whichever messages
+  arrive first), so the contract — documented in ``docs/adversaries.md`` —
+  is determinism of the corruption as a function of the observation, which
+  is what these tests pin down.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.adversary import AdversaryCoordinator, get_adversary, make_binding
+from repro.batch import run_batched_scenarios
+from repro.byzantine.base import AttackContext
+from repro.campaign.engine import execute_scenario
+from repro.campaign.spec import ScenarioSpec
+from repro.runtime.threads import ThreadedClusterRuntime
+
+ADVERSARY_SPECS = [
+    {"name": "omniscient_descent", "kwargs": {"num_amplitudes": 4}},
+    {"name": "collusion", "kwargs": {"attack": "sign_flip"}},
+    {"name": "sleeper", "kwargs": {"wake_step": 2, "inner": "collusion"}},
+    {"name": "oscillating", "kwargs": {"period": 2, "start_active": True}},
+    {"name": "little_is_enough", "kwargs": {}},  # wrapped legacy attack
+]
+
+
+def _specs(adversary, seeds=(11, 12)):
+    return [ScenarioSpec(name=f"{adversary['name']}-{seed}",
+                         adversary=dict(adversary), num_steps=6,
+                         dataset_size=240, seed=seed)
+            for seed in seeds]
+
+
+class TestSequentialVsBatched:
+    @pytest.mark.parametrize("adversary", ADVERSARY_SPECS,
+                             ids=lambda a: a["name"])
+    def test_histories_bit_identical(self, adversary):
+        specs = _specs(adversary)
+        sequential = [execute_scenario(spec.replace()) for spec in specs]
+        batched = run_batched_scenarios([spec.replace() for spec in specs])
+        for seq_history, bat_history in zip(sequential, batched):
+            assert seq_history.to_dict() == bat_history.to_dict()
+
+    def test_adversary_actually_changes_training(self):
+        honest = execute_scenario(ScenarioSpec(name="h", num_steps=6,
+                                               dataset_size=240, seed=11))
+        attacked = execute_scenario(_specs(
+            {"name": "omniscient_descent", "kwargs": {}}, seeds=(11,))[0])
+        assert honest.to_dict() != attacked.to_dict()
+
+
+def _coordinator(mode_seed=5):
+    adversary = get_adversary("collusion", attack="little_is_enough")
+    worker_ids = [f"worker/{i}" for i in range(7)]
+    binding = make_binding(
+        adversary, seed=mode_seed, worker_ids=worker_ids,
+        server_ids=[f"ps/{i}" for i in range(3)],
+        num_attacking_workers=2, num_attacking_servers=0,
+        gradient_rule_name="median", declared_byzantine_workers=2,
+        declared_byzantine_servers=0, gradient_quorum=7, model_quorum=3)
+    return adversary, binding, AdversaryCoordinator(adversary, binding)
+
+
+def _honest_gradients(step, dimension=5):
+    rng = np.random.default_rng(1000 + step)
+    return [rng.normal(size=dimension) for _ in range(5)]
+
+
+class TestThreeWiringsEmitIdenticalCorruption:
+    def test_context_board_and_replay_agree(self):
+        steps = range(4)
+        # Wiring 1: sequential/batched style — peers inside the context.
+        _, binding, sequential = _coordinator()
+        by_context = {
+            step: sequential.worker_gradient(
+                "worker/6", AttackContext(step=step,
+                                          honest_value=np.zeros(5),
+                                          peer_values=_honest_gradients(step)))
+            for step in steps}
+
+        # Wiring 2: threaded style — observation board fed from racing
+        # threads, corruption queried from two Byzantine node threads.
+        _, binding, threaded = _coordinator()
+        threaded.enable_board(lambda step: binding.honest_workers(),
+                              timeout=5.0)
+        by_board = {}
+        board_lock = threading.Lock()
+
+        def byzantine(step, node_id):
+            value = threaded.worker_gradient(
+                node_id, AttackContext(step=step, honest_value=np.zeros(5)))
+            with board_lock:
+                by_board[(step, node_id)] = value
+
+        for step in steps:
+            queries = [threading.Thread(target=byzantine,
+                                        args=(step, node_id))
+                       for node_id in ("worker/5", "worker/6")]
+            for thread in queries:
+                thread.start()
+            publishers = []
+            for index, worker_id in enumerate(binding.honest_workers()):
+                publisher = threading.Thread(
+                    target=threaded.publish,
+                    args=(worker_id, step, _honest_gradients(step)[index]))
+                publishers.append(publisher)
+                publisher.start()
+            for thread in [*queries, *publishers]:
+                thread.join(timeout=5.0)
+                assert not thread.is_alive()
+
+        # Wiring 3: batched-lane style — a fresh coordinator replayed in
+        # sequential order, per-recipient calls sharing the cached plan.
+        _, _, lane = _coordinator()
+        by_lane = {}
+        for step in steps:
+            for recipient in ("ps/0", "ps/1", "ps/2"):
+                value = lane.worker_gradient(
+                    "worker/6", AttackContext(
+                        step=step, honest_value=np.zeros(5),
+                        peer_values=_honest_gradients(step),
+                        recipient=recipient))
+                by_lane.setdefault(step, value)
+                np.testing.assert_array_equal(by_lane[step], value)
+
+        for step in steps:
+            np.testing.assert_array_equal(by_context[step],
+                                          by_board[(step, "worker/6")])
+            np.testing.assert_array_equal(by_context[step],
+                                          by_board[(step, "worker/5")])
+            np.testing.assert_array_equal(by_context[step], by_lane[step])
+
+
+class TestThreadedRuntime:
+    def _runtime(self, adversary_name, **adversary_kwargs):
+        from repro.experiments.common import (
+            ExperimentScale,
+            build_workload,
+            make_model_factory,
+        )
+        from repro.core.config import ClusterConfig
+        from repro.nn.schedules import ConstantSchedule
+
+        scale = ExperimentScale.small()
+        scale.num_workers, scale.num_servers = 6, 6
+        scale.declared_byzantine_workers = 1
+        scale.dataset_size = 240
+        train, _, in_features, num_classes = build_workload(scale)
+        config = ClusterConfig(num_servers=6, num_workers=6,
+                               num_byzantine_servers=1,
+                               num_byzantine_workers=1)
+        return ThreadedClusterRuntime(
+            config=config,
+            model_fn=make_model_factory(scale, in_features, num_classes),
+            train_dataset=train, batch_size=8,
+            schedule=ConstantSchedule(0.05),
+            adversary=get_adversary(adversary_name, **adversary_kwargs),
+            num_attacking_workers=1, quorum_timeout=30.0, seed=3)
+
+    def test_observing_adversary_runs_to_completion(self):
+        runtime = self._runtime("collusion")
+        history = runtime.run(4)
+        assert len(history.records) == 4
+        losses = [record.train_loss for record in history.records]
+        assert all(loss is not None and np.isfinite(loss) for loss in losses)
+        assert history.config["adversary"] == "collusion"
+
+    def test_stateless_adversary_runs_without_board(self):
+        runtime = self._runtime("sign_flip")
+        assert runtime.adversary_coordinator is not None
+        assert runtime._observation_board is None
+        history = runtime.run(3)
+        assert len(history.records) == 3
+        # Nobody reads the board for a per-call adversary, so honest
+        # workers must not have accumulated gradient copies into it.
+        assert runtime.adversary_coordinator._board == {}
+
+    def test_adversary_and_legacy_attacks_are_mutually_exclusive(self):
+        from repro.byzantine import SignFlipAttack
+
+        with pytest.raises(ValueError, match="not both"):
+            runtime = self._runtime("collusion")
+            ThreadedClusterRuntime(
+                config=runtime.config, model_fn=lambda: None,
+                train_dataset=None, worker_attack=SignFlipAttack(),
+                adversary=get_adversary("collusion"))
+
+
+class TestSleeperTiming:
+    def test_sleeper_matches_dormant_run_until_wake_step(self):
+        # The comparison baseline is a sleeper that never wakes (same
+        # Byzantine node placement and covert-channel timing, zero
+        # corruption), so any divergence is the wake event itself.
+        base = ScenarioSpec(name="dormant", num_steps=6, dataset_size=240,
+                            seed=21,
+                            adversary={"name": "sleeper",
+                                       "kwargs": {"wake_step": 100,
+                                                  "inner": "collusion"}})
+        sleeper = base.replace(
+            name="sleeper",
+            adversary={"name": "sleeper",
+                       "kwargs": {"wake_step": 3, "inner": "collusion"}})
+        dormant_losses = [r.train_loss
+                          for r in execute_scenario(base).records]
+        sleeper_losses = [r.train_loss
+                          for r in execute_scenario(sleeper).records]
+        # Corruption first lands in the parameters used at step wake+1, so
+        # the loss trajectories agree up to and including the wake step.
+        assert sleeper_losses[:4] == dormant_losses[:4]
+        assert sleeper_losses[4:] != dormant_losses[4:]

@@ -139,3 +139,35 @@ class TestCampaignBenchmark:
                                     "--output", str(output),
                                     "--min-speedup", "10000.0"])
         assert code == 1
+
+
+class TestBenchAdversary:
+    def test_run_benchmark_reports_all_variants(self):
+        from repro.benchtools import bench_adversary
+
+        report = bench_adversary.run_benchmark(steps=3)
+        variants = report["variants"]
+        assert set(variants) == {"honest", "legacy_little_is_enough",
+                                 "adversary_collusion",
+                                 "adversary_omniscient"}
+        for row in variants.values():
+            assert row["seconds"] > 0
+            assert row["seconds_per_round"] == pytest.approx(
+                row["seconds"] / 3)
+        assert "engine_overhead_per_round" in report
+
+    def test_main_writes_report_and_gates(self, tmp_path, capsys):
+        from repro.benchtools import bench_adversary
+
+        output = tmp_path / "BENCH_adversary.json"
+        code = bench_adversary.main(["--steps", "3",
+                                     "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "adversary_overhead"
+        assert "ms/round" in capsys.readouterr().out
+        # an absurdly strict gate must fail
+        code = bench_adversary.main(["--steps", "3",
+                                     "--output", str(output),
+                                     "--max-slowdown", "0.0001"])
+        assert code == 1

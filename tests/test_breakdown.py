@@ -1,0 +1,140 @@
+"""Tests for the empirical breakdown-point search."""
+
+import json
+
+import numpy as np
+
+import pytest
+
+from repro import cli
+from repro.campaign.store import ResultStore
+from repro.experiments.breakdown import (
+    admissible_max_attackers,
+    breakdown_table,
+    run_breakdown_search,
+)
+from repro.experiments.common import ExperimentScale
+
+
+def _scale(steps=8):
+    scale = ExperimentScale.small()
+    scale.num_steps = steps
+    return scale
+
+
+class TestBreakdownSearch:
+    def test_pinned_resilience_boundary_table(self):
+        """The boundary table is fixed for the pinned seed.
+
+        The shape is the paper's: plain averaging breaks at the first
+        omniscient attacker, the Byzantine-resilient median survives to
+        the admissible maximum ``(n̄ - 3) / 3``.
+        """
+        results = run_breakdown_search(
+            scale=_scale(),
+            gars=("mean", "median"),
+            adversaries=("omniscient_descent", "reversed_gradient"))
+        boundary = [(row["gradient_rule"], row["adversary"],
+                     row["breakdown_f"], row["admissible_f"],
+                     row["survives_admissible_max"])
+                    for row in breakdown_table(results)]
+        assert boundary == [
+            ("mean", "omniscient_descent", 0, 2, False),
+            ("mean", "reversed_gradient", 0, 2, False),
+            ("median", "omniscient_descent", 2, 2, True),
+            ("median", "reversed_gradient", 2, 2, True),
+        ]
+
+    def test_search_is_bit_reproducible(self):
+        first = run_breakdown_search(scale=_scale(), gars=("median",),
+                                     adversaries=("omniscient_descent",))
+        second = run_breakdown_search(scale=_scale(), gars=("median",),
+                                      adversaries=("omniscient_descent",))
+        assert breakdown_table(first) == breakdown_table(second)
+        assert first[0].losses == second[0].losses
+
+    def test_store_caches_every_evaluation(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = run_breakdown_search(scale=_scale(), gars=("median",),
+                                     adversaries=("reversed_gradient",),
+                                     store=store)
+        entries = len(store)
+        assert entries == 1 + first[0].evaluations  # baseline + attacked
+        second = run_breakdown_search(scale=_scale(), gars=("median",),
+                                      adversaries=("reversed_gradient",),
+                                      store=store)
+        assert len(store) == entries  # everything came from cache
+        assert breakdown_table(first) == breakdown_table(second)
+        # Cached entries are queryable like any other campaign result.
+        assert store.query(adversary="reversed_gradient")
+
+    def test_unknown_gar_raises(self):
+        with pytest.raises(KeyError, match="unknown aggregation rule"):
+            run_breakdown_search(scale=_scale(), gars=("nope",))
+
+    def test_server_side_adversary_rejected_with_clear_message(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="worker-side"):
+            run_breakdown_search(scale=_scale(), gars=("median",),
+                                 adversaries=("stale_model",), store=store)
+        assert len(store) == 0  # rejected before the baseline trains
+
+    def test_unknown_adversary_raises_before_any_training(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(KeyError, match="unknown adversary"):
+            run_breakdown_search(scale=_scale(), gars=("median",),
+                                 adversaries=("omniscient_decsent",),
+                                 store=store)
+        assert len(store) == 0  # the typo fails before the baseline trains
+
+    def test_label_flip_adversary_gets_workload_classes(self):
+        # blobs has 4 classes; the attack's default num_classes=10 would
+        # poison labels past the softmax range and crash the evaluation.
+        results = run_breakdown_search(scale=_scale(), gars=("median",),
+                                       adversaries=("label_flip",))
+        assert results[0].adversary == "label_flip"
+        assert all(np.isfinite(loss)
+                   for loss in results[0].losses.values())
+
+    def test_adversary_kwargs_override(self):
+        results = run_breakdown_search(
+            scale=_scale(), gars=("median",), adversaries=("collusion",),
+            adversary_kwargs={"collusion": {"attack": "sign_flip"}})
+        assert results[0].adversary == "collusion"
+        assert results[0].breakdown_f >= 0
+
+    def test_admissible_max_respects_rule_minimums(self):
+        scale = _scale()
+        # 9 workers: the cluster arithmetic admits f̄ ≤ 2; Bulyan needs
+        # 4f̄ + 3 inputs, so it caps at f̄ = 1 ((9 - 3) / 4).
+        assert admissible_max_attackers(scale, "median") == 2
+        assert admissible_max_attackers(scale, "bulyan") == 1
+
+
+class TestBreakdownCli:
+    BASE = ["--steps", "8", "--workers-count", "9", "--servers-count", "6"]
+
+    def test_breakdown_subcommand(self, capsys):
+        code = cli.main([*self.BASE, "breakdown", "--gars", "mean", "median",
+                         "--adversaries", "reversed_gradient"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breakdown_f" in out and "admissible_f" in out
+        assert "mean" in out and "median" in out
+
+    def test_breakdown_json_and_store(self, capsys, tmp_path):
+        path = tmp_path / "breakdown.json"
+        store = tmp_path / "store"
+        code = cli.main([*self.BASE, "--json", str(path), "breakdown",
+                         "--gars", "median", "--adversaries",
+                         "reversed_gradient", "--store", str(store)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["rows"][0]["gradient_rule"] == "median"
+        assert payload["losses"][0]["adversary"] == "reversed_gradient"
+        assert len(ResultStore(store)) > 0
+
+    def test_breakdown_unknown_rule_exits_2(self, capsys):
+        code = cli.main([*self.BASE, "breakdown", "--gars", "bogus"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

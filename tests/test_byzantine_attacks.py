@@ -139,3 +139,74 @@ class TestAttackRegistry:
     def test_unknown_attack_raises(self):
         with pytest.raises(KeyError):
             get_attack("teleport")
+
+
+class TestRegisteredAttackProperties:
+    """Property tests over *every* registered attack.
+
+    Two invariants the runtimes rely on:
+
+    * **determinism** — for a fixed seed (and fresh attack state) the
+      corruption is bit-identical across invocations; nothing may draw
+      from global randomness or per-process salted hashes;
+    * **honest inputs untouched** — the honest gradient, the observed peer
+      gradients and the training batch are never mutated in place, and a
+      non-silent corruption preserves the honest value's shape and float
+      dtype.
+    """
+
+    @staticmethod
+    def _context(seed=7, step=3, dimension=24):
+        rng = np.random.default_rng(seed + 1000)
+        honest = rng.normal(size=dimension)
+        peers = [rng.normal(size=dimension) for _ in range(5)]
+        return AttackContext(step=step, honest_value=honest,
+                             peer_values=peers,
+                             rng=np.random.default_rng(seed),
+                             recipient="ps/1")
+
+    @staticmethod
+    def _corrupt(attack, context):
+        if hasattr(attack, "corrupt_gradient"):
+            return attack.corrupt_gradient(context)
+        return attack.corrupt_model(context)
+
+    @pytest.mark.parametrize("name", available_attacks())
+    def test_deterministic_for_fixed_seed(self, name):
+        outputs = [self._corrupt(get_attack(name), self._context())
+                   for _ in range(2)]
+        if outputs[0] is None:
+            assert outputs[1] is None
+        else:
+            np.testing.assert_array_equal(outputs[0], outputs[1])
+
+    @pytest.mark.parametrize("name", available_attacks())
+    def test_honest_inputs_never_mutated(self, name):
+        context = self._context()
+        honest_before = context.honest_value.copy()
+        peers_before = [peer.copy() for peer in context.peer_values]
+        output = self._corrupt(get_attack(name), context)
+        np.testing.assert_array_equal(context.honest_value, honest_before)
+        for peer, before in zip(context.peer_values, peers_before):
+            np.testing.assert_array_equal(peer, before)
+        if output is not None:
+            assert output.shape == honest_before.shape
+            assert np.issubdtype(np.asarray(output).dtype, np.floating)
+
+    @pytest.mark.parametrize("name", available_attacks())
+    def test_poison_batch_leaves_originals_untouched(self, name):
+        attack = get_attack(name)
+        if not hasattr(attack, "poison_batch"):
+            pytest.skip("server attacks have no data-poisoning hook")
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(8, 4))
+        labels = rng.integers(0, 4, size=8)
+        features_before = features.copy()
+        labels_before = labels.copy()
+        context = self._context()
+        poisoned_features, poisoned_labels = attack.poison_batch(
+            features, labels, context)
+        np.testing.assert_array_equal(features, features_before)
+        np.testing.assert_array_equal(labels, labels_before)
+        assert np.asarray(poisoned_features).shape == features_before.shape
+        assert np.asarray(poisoned_labels).shape == labels_before.shape

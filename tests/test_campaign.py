@@ -311,6 +311,49 @@ class TestResultStore:
         with pytest.raises(KeyError, match="unknown scenario fields"):
             ResultStore(tmp_path).query(gradent_rule="median")
 
+    def test_query_by_plain_name_hits_and_misses(self, tmp_path):
+        """Attack/adversary filters take the plain string name.
+
+        Callers never reach into the nested ``{"name": ..., "kwargs": ...}``
+        spec payloads: ``query(adversary="collusion")`` matches regardless
+        of the adversary's constructor arguments, and a name that is not in
+        the store simply returns no results.
+        """
+        store = ResultStore(tmp_path)
+        history = execute_scenario(tiny_spec())
+        store.put(tiny_spec(name="adv",
+                            adversary={"name": "collusion",
+                                       "kwargs": {"attack": "sign_flip"}}),
+                  history)
+        store.put(tiny_spec(name="legacy-worker",
+                            worker_attack="reversed_gradient"), history)
+        store.put(tiny_spec(name="legacy-server", num_servers=6,
+                            declared_byzantine_servers=1,
+                            server_attack="stale_model"), history)
+        # Hits, by plain name.
+        assert [r.spec.name for r in store.query(adversary="collusion")] \
+            == ["adv"]
+        assert [r.spec.name
+                for r in store.query(worker_attack="reversed_gradient")] \
+            == ["legacy-worker"]
+        assert [r.spec.name
+                for r in store.query(server_attack="stale_model")] \
+            == ["legacy-server"]
+        # Misses: unknown names and absent fields return empty, not errors.
+        assert store.query(adversary="omniscient_descent") == []
+        assert store.query(worker_attack="sign_flip") == []
+        assert store.query(server_attack="equivocation") == []
+        # Filters compose with ordinary scalar fields.
+        assert len(store.query(adversary="collusion",
+                               trainer="guanyu")) == 1
+        assert store.query(adversary="collusion", seed=999) == []
+
+    def test_summary_rows_include_adversary(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = tiny_spec(adversary="collusion")
+        store.put(spec, execute_scenario(spec))
+        assert store.summary_rows()[0]["adversary"] == "collusion"
+
     def test_summary_rows_render(self, tmp_path):
         from repro.plotting import format_table
         store = ResultStore(tmp_path)

@@ -110,6 +110,47 @@ class TestSubcommands:
         assert "equivocation" in out
         assert "guanyu_threaded" in out
         assert "lognormal" in out
+        assert "omniscient_descent" in out  # adversary registry included
+
+
+class TestAttacksListing:
+    def test_lists_attacks_and_adversaries_with_kind_and_params(self, capsys):
+        code, out = _run(capsys, ["attacks"])
+        assert code == 0
+        # every registered attack appears with its kind tag
+        from repro.byzantine import available_attacks
+        for name in available_attacks():
+            assert name in out
+        assert "[worker-attack" in out and "[server-attack" in out
+        # native adversaries appear with their constructor parameters
+        from repro.adversary import available_adversaries
+        for name in available_adversaries():
+            assert name in out
+        assert "[adversary" in out
+        assert "z_factor=1.5" in out          # attack parameters rendered
+        assert "wake_step=20" in out          # adversary parameters rendered
+
+    def test_json_dump(self, capsys, tmp_path):
+        path = tmp_path / "attacks.json"
+        code, _ = _run(capsys, ["--json", str(path), "attacks"])
+        assert code == 0
+        rows = json.loads(path.read_text())
+        kinds = {row["name"]: row["kind"] for row in rows}
+        assert kinds["sign_flip"] == "worker-attack"
+        assert kinds["stale_model"] == "server-attack"
+        assert kinds["collusion"] == "adversary"
+
+    def test_rejects_extra_arguments(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["attacks", "--bogus"])
+        assert excinfo.value.code == 2
+
+    def test_attack_sweep_still_runs_the_ablation(self, capsys):
+        code, out = _run(capsys, ["--steps", "4", "--workers-count", "9",
+                                  "--servers-count", "6", "attack-sweep"])
+        assert code == 0
+        assert "Attack sweep" in out
+        assert "sign_flip" in out
 
 
 class TestSweep:
@@ -251,6 +292,54 @@ class TestSweep:
                                   "--processes", "1"])
         assert code == 1
         assert "FAILED bad" in out
+
+    def test_adversary_axis_sweep(self, capsys, tmp_path):
+        argv = ["--steps", "4", "--workers-count", "9",
+                "--servers-count", "6", "sweep",
+                "--adversaries", "collusion", "sign_flip",
+                "--seeds", "0", "1", "--processes", "1",
+                "--store", str(tmp_path / "store")]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "4 scenarios — ran 4, cached 0, failed 0" in out
+        assert "collusion-seed=0" in out and "sign_flip-seed=1" in out
+        # resume: same sweep is a pure cache hit
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "ran 0, cached 4, failed 0" in out
+
+    def test_adversary_axis_composes_with_batch_seeds(self, capsys):
+        code, out = _run(capsys, ["--steps", "4", "--workers-count", "9",
+                                  "--servers-count", "6", "sweep",
+                                  "--adversaries", "collusion",
+                                  "--seeds", "0", "1", "--batch-seeds",
+                                  "--processes", "1"])
+        assert code == 0
+        assert "ran 2 (2 batched)" in out
+
+    def test_label_flip_adversary_axis_gets_workload_classes(self, capsys):
+        # Mirrors the --attacks axis fix-up: the blobs workload has 4
+        # classes, so the default num_classes=10 would poison labels past
+        # the softmax range and crash the scenario.
+        code, out = _run(capsys, ["--steps", "4", "--workers-count", "9",
+                                  "--servers-count", "6", "sweep",
+                                  "--adversaries", "label_flip",
+                                  "--processes", "1"])
+        assert code == 0
+        assert "ran 1, cached 0, failed 0" in out
+
+    def test_unknown_adversary_exits_2(self, capsys):
+        code = cli.main(["sweep", "--adversaries", "teleport"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_attacks_and_adversaries_axes_cannot_be_combined(self, capsys):
+        # An adversary cell overrides the attack cell's fields, so the two
+        # axes would collapse into duplicate content addresses — reject.
+        code = cli.main(["sweep", "--attacks", "sign_flip",
+                         "--adversaries", "collusion"])
+        assert code == 2
+        assert "--adversaries" in capsys.readouterr().err
 
 
 class TestResilience:
