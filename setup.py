@@ -2,7 +2,10 @@
 
 The project metadata lives in ``pyproject.toml``; this file exists so that
 ``pip install -e .`` works in offline environments where the ``wheel``
-package (needed by PEP 660 editable builds) is unavailable.
+package (needed by PEP 660 editable builds) is unavailable.  The CI
+``packaging`` job installs the package for real (no ``PYTHONPATH=src``)
+and smoke-tests ``import repro`` + the console entry point, so drift
+between this shim, ``pyproject.toml`` and the ``src/`` layout fails fast.
 """
 
 from setuptools import setup

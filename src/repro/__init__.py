@@ -10,6 +10,7 @@ Sub-packages
 ``repro.tensor``       reverse-mode autograd engine (TensorFlow substitute)
 ``repro.nn``           layers, models (incl. the paper's Table 1 CNN), optimisers
 ``repro.data``         synthetic datasets (CIFAR-10 substitute) and sharding
+``repro.hetero``       non-i.i.d. partitions and heterogeneous worker profiles
 ``repro.aggregation``  gradient aggregation rules (median, Multi-Krum, ...)
 ``repro.byzantine``    worker and server attack behaviours
 ``repro.network``      seeded asynchronous network simulator

@@ -48,8 +48,9 @@ from repro.core.nodes import (
     poison_worker_batch,
 )
 from repro.core.trainer import attacking_node_ids, validate_attack_counts
-from repro.data.loader import DataLoader, shard_dataset
+from repro.data.loader import DataLoader, partition_dataset
 from repro.faults import FaultController
+from repro.hetero import DEFAULT_PROFILE
 from repro.metrics.accuracy import evaluate_accuracy
 from repro.metrics.tracker import StepRecord, TrainingHistory
 from repro.network.message import MessageKind
@@ -220,6 +221,13 @@ class BatchedGuanYuTrainer:
             self.model_rule_name,
             num_byzantine=self.config.num_byzantine_servers)
 
+        self.hetero = base.hetero
+        #: per-worker heterogeneity profiles (shared across lanes: the
+        #: hetero spec is seed-independent, only the partitions vary)
+        self.profiles = [
+            self.hetero.profile_for(index) if self.hetero else DEFAULT_PROFILE
+            for index in range(len(self.worker_ids))]
+
         self.lanes: List[_Lane] = []
         template = None
         for spec in specs:
@@ -227,6 +235,19 @@ class BatchedGuanYuTrainer:
             self.lanes.append(lane)
             if template is None:
                 template = lane_template
+
+        # Hetero partitions vary per seed, and a shard smaller than the
+        # requested batch size clamps its loader — per-lane batch shapes
+        # would then disagree and the (R, B, ...) stacks could not form.
+        for index in range(len(self.worker_ids)):
+            lane_batch_sizes = {lane.loaders[index].batch_size
+                                for lane in self.lanes}
+            if len(lane_batch_sizes) > 1:
+                raise BatchedExecutionError(
+                    f"worker {self.worker_ids[index]}: per-seed hetero "
+                    f"partitions clamp the batch size differently across "
+                    f"replicas ({sorted(lane_batch_sizes)}); falling back "
+                    f"to sequential execution")
 
         self.dense_stack = BatchedDenseStack(template)
         self.num_parameters = template.num_parameters()
@@ -273,6 +294,7 @@ class BatchedGuanYuTrainer:
                               if base.server_attack else None),
             "adversary": base.adversary.name if base.adversary else None,
             "faults": base.faults.to_dict() if base.faults else None,
+            "hetero": base.hetero.to_dict() if base.hetero else None,
         }
         for lane in self.lanes:
             lane.history.config = dict(shared_config)
@@ -307,10 +329,13 @@ class BatchedGuanYuTrainer:
                                spec.resolved_num_attacking_servers(),
                                adversary=adversary)
 
-        shards = shard_dataset(train, len(self.worker_ids),
-                               strategy=spec.sharding, seed=spec.seed)
+        shards = partition_dataset(train, len(self.worker_ids),
+                                   sharding=spec.sharding, hetero=spec.hetero,
+                                   seed=spec.seed)
         lane.loaders = [
-            DataLoader(shards[index], batch_size=spec.batch_size,
+            DataLoader(shards[index],
+                       batch_size=(self.profiles[index].batch_size
+                                   or spec.batch_size),
                        seed=spec.seed + 1000 + index)
             for index in range(len(self.worker_ids))]
         lane.worker_rngs = [np.random.default_rng(spec.seed + 2000 + index)
@@ -434,6 +459,31 @@ class BatchedGuanYuTrainer:
             self.config.gradient_quorum, step)
         return set(workers), set(servers)
 
+    def _forward_backward(self, w_index: int, worker_id: str,
+                          theta: np.ndarray, step_index: int
+                          ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """One replica-batched gradient for worker ``w_index`` at ``theta``.
+
+        Draws the next mini-batch of every lane (running any data-poisoning
+        hook at the parameters the gradient is computed at, exactly like
+        :meth:`WorkerNode.compute_gradient`) and returns
+        ``(losses (R,), gradients (R, D), samples per lane)``.
+        """
+        features_rows, labels_rows = [], []
+        for r, lane in enumerate(self.lanes):
+            features, labels = lane.loaders[w_index].next_batch()
+            features, labels = poison_worker_batch(
+                lane.worker_attacks[worker_id],
+                lane.worker_rngs[w_index], theta[r], step_index,
+                features, labels)
+            features_rows.append(features)
+            labels_rows.append(np.asarray(labels, dtype=np.int64))
+        features_batch = np.stack(features_rows)
+        labels_batch = np.stack(labels_rows)
+        losses, gradients = self.dense_stack.forward_backward(
+            theta, features_batch, labels_batch)
+        return losses, gradients, labels_batch.shape[1]
+
     def _corrupt_models(self, server_index: int, step: int,
                         recipient: str) -> Tuple[np.ndarray, np.ndarray]:
         """Per-lane Byzantine model payloads ``(R, D)`` + presence mask."""
@@ -518,27 +568,40 @@ class BatchedGuanYuTrainer:
                 not_before=self.worker_clock[w_index])
             aggregated = self.model_rule.aggregate_batched(stacked)
 
-            features_rows, labels_rows = [], []
-            for r, lane in enumerate(self.lanes):
-                features, labels = lane.loaders[w_index].next_batch()
-                features, labels = poison_worker_batch(
-                    lane.worker_attacks[worker_id],
-                    lane.worker_rngs[w_index], aggregated[r], step_index,
-                    features, labels)
-                features_rows.append(features)
-                labels_rows.append(np.asarray(labels, dtype=np.int64))
-            features_batch = np.stack(features_rows)
-            labels_batch = np.stack(labels_rows)
-
-            losses, gradients = self.dense_stack.forward_backward(
-                aggregated, features_batch, labels_batch)
-            gradient_stack[w_index] = gradients
-            loss_stack[w_index] = losses
+            profile = self.profiles[w_index]
+            if profile.local_steps == 1:
+                losses, gradients, samples = self._forward_backward(
+                    w_index, worker_id, aggregated, step_index)
+                gradient_stack[w_index] = gradients
+                loss_stack[w_index] = losses
+                batch_sizes[w_index] = samples
+            else:
+                # Replays WorkerNode's local-SGD walk op-for-op per lane:
+                # k sequential forward/backwards from the aggregated
+                # model, mean gradient along the trajectory.
+                eta = self.schedule(step_index)
+                theta = aggregated
+                gradient_sum = np.zeros_like(aggregated)
+                lane_losses: List[List[float]] = [[] for _ in
+                                                  range(replicas)]
+                total_samples = 0
+                for _ in range(profile.local_steps):
+                    losses, gradients, samples = self._forward_backward(
+                        w_index, worker_id, theta, step_index)
+                    gradient_sum += gradients
+                    for r in range(replicas):
+                        lane_losses[r].append(float(losses[r]))
+                    total_samples += samples
+                    theta = theta - eta * gradients
+                gradient_stack[w_index] = gradient_sum / profile.local_steps
+                loss_stack[w_index] = np.array(
+                    [float(np.mean(entry)) for entry in lane_losses])
+                batch_sizes[w_index] = total_samples
             if worker_id in self.attacking_workers:
                 model_stack[w_index] = aggregated
-            batch_sizes[w_index] = labels_batch.shape[1]
-            compute_time = (cost.median_time(config.model_quorum, d)
-                            + cost.gradient_time(batch_sizes[w_index], d))
+            compute_time = profile.delay_multiplier * (
+                cost.median_time(config.model_quorum, d)
+                + cost.gradient_time(batch_sizes[w_index], d))
             self.worker_clock[w_index] = completion + compute_time
 
         alive_correct_worker_idx = [

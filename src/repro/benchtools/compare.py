@@ -1,10 +1,21 @@
-"""Benchmark-regression comparator (the CI ``bench-compare`` step).
+"""Benchmark-regression comparator (the CI ``bench-compare`` steps).
 
-Reads two ``pytest-benchmark`` JSON files — the current run and a committed
-baseline — and fails when any benchmark's **median** wall time regressed by
-more than the threshold factor (default 1.30 = +30 %).  Medians, not means:
-CI machines have noisy tails, and the median of pytest-benchmark's many
-rounds is the stablest single number it reports.
+Reads two benchmark JSON files — the current run and a committed baseline —
+and fails when any benchmark's **median** wall time regressed by more than
+the threshold factor (default 1.30 = +30 %).  Medians, not means: CI
+machines have noisy tails, and the median of pytest-benchmark's many rounds
+is the stablest single number it reports.
+
+Three input formats are recognised, so every bench artifact the CI produces
+is regression-gated against a committed baseline, not just the aggregation
+micro-benchmark:
+
+* ``pytest-benchmark`` files (a ``benchmarks`` list) — one entry per
+  benchmark ``fullname``, median from its ``stats``;
+* ``bench_campaign`` reports (``benchmark == "campaign_seed_sweep"``) —
+  the per-replica batched/sequential seconds become two entries;
+* ``bench_adversary`` reports (``benchmark == "adversary_overhead"``) —
+  one entry per variant's seconds-per-round.
 
 Exit codes: ``0`` all benchmarks within threshold, ``1`` at least one
 regression (or a baseline benchmark missing from the current run), ``2``
@@ -14,6 +25,8 @@ Usage::
 
     python -m repro.benchtools.compare BENCH_aggregation.json \
         benchmarks/baselines/BENCH_aggregation.json --threshold 1.30
+    python -m repro.benchtools.compare BENCH_campaign.json \
+        benchmarks/baselines/BENCH_campaign.json --threshold 1.60
 """
 
 from __future__ import annotations
@@ -25,9 +38,14 @@ from typing import Dict, List, Optional, Tuple
 
 
 def load_medians(path: str) -> Dict[str, float]:
-    """``fullname → median seconds`` from a pytest-benchmark JSON file."""
+    """``name → representative seconds`` from any recognised bench JSON."""
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
+    kind = payload.get("benchmark")
+    if kind == "campaign_seed_sweep":
+        return _campaign_medians(path, payload)
+    if kind == "adversary_overhead":
+        return _adversary_medians(path, payload)
     benchmarks = payload.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
         raise ValueError(f"{path} holds no benchmarks")
@@ -38,6 +56,38 @@ def load_medians(path: str) -> Dict[str, float]:
         if name is None or median is None:
             raise ValueError(f"{path} has a benchmark without name/median")
         medians[str(name)] = float(median)
+    return medians
+
+
+def _campaign_medians(path: str, payload: Dict) -> Dict[str, float]:
+    """Comparable numbers of a ``bench_campaign`` report.
+
+    Per-replica seconds (not totals): the replica count is a CLI knob and
+    must not masquerade as a perf change when it differs from the
+    baseline's.
+    """
+    medians = {}
+    for metric in ("batched_seconds_per_replica",
+                   "sequential_seconds_per_replica"):
+        value = payload.get(metric)
+        if value is None:
+            raise ValueError(f"{path} lacks '{metric}'")
+        medians[f"campaign_seed_sweep/{metric}"] = float(value)
+    return medians
+
+
+def _adversary_medians(path: str, payload: Dict) -> Dict[str, float]:
+    """Comparable numbers of a ``bench_adversary`` report (per round)."""
+    variants = payload.get("variants")
+    if not isinstance(variants, dict) or not variants:
+        raise ValueError(f"{path} holds no adversary variants")
+    medians = {}
+    for name, row in variants.items():
+        value = row.get("seconds_per_round")
+        if value is None:
+            raise ValueError(f"{path} variant '{name}' lacks "
+                             f"'seconds_per_round'")
+        medians[f"adversary_overhead/{name}"] = float(value)
     return medians
 
 

@@ -123,7 +123,7 @@ def build_trainer(spec: ScenarioSpec):
             cost_model=spec.build_cost_model(),
             sharding=spec.sharding, seed=spec.seed,
             cost_num_parameters=spec.billed_parameters,
-            fault_schedule=spec.faults, label=spec.name)
+            fault_schedule=spec.faults, hetero=spec.hetero, label=spec.name)
     if spec.trainer == "vanilla":
         return VanillaTrainer(
             model_fn=model_fn, train_dataset=train, test_dataset=test,
@@ -137,7 +137,8 @@ def build_trainer(spec: ScenarioSpec):
             delay_model=spec.build_delay_model(),
             cost_model=spec.build_cost_model(),
             sharding=spec.sharding, seed=spec.seed,
-            cost_num_parameters=spec.billed_parameters, label=spec.name)
+            cost_num_parameters=spec.billed_parameters,
+            hetero=spec.hetero, label=spec.name)
     if spec.trainer == "single_server_krum":
         return SingleServerKrumTrainer(
             model_fn=model_fn, train_dataset=train, test_dataset=test,
@@ -149,7 +150,8 @@ def build_trainer(spec: ScenarioSpec):
             delay_model=spec.build_delay_model(),
             cost_model=spec.build_cost_model(),
             sharding=spec.sharding, seed=spec.seed,
-            cost_num_parameters=spec.billed_parameters, label=spec.name)
+            cost_num_parameters=spec.billed_parameters,
+            hetero=spec.hetero, label=spec.name)
     if spec.trainer == "guanyu_threaded":
         return ThreadedClusterRuntime(
             config=spec.cluster_config(), model_fn=model_fn,
@@ -162,7 +164,8 @@ def build_trainer(spec: ScenarioSpec):
             gradient_rule_name=spec.gradient_rule,
             model_rule_name=spec.model_rule,
             jitter=spec.jitter, quorum_timeout=spec.quorum_timeout,
-            fault_schedule=spec.faults, seed=spec.seed)
+            fault_schedule=spec.faults, sharding=spec.sharding,
+            hetero=spec.hetero, seed=spec.seed)
     raise ValueError(f"unknown trainer '{spec.trainer}'")
 
 

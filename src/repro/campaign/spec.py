@@ -32,6 +32,7 @@ from repro.byzantine.base import ServerAttack, WorkerAttack
 from repro.byzantine.registry import available_attacks, get_attack
 from repro.core.config import ClusterConfig
 from repro.faults import FaultSchedule
+from repro.hetero import HeteroSpec
 from repro.network.delays import (
     ConstantDelay,
     DelayModel,
@@ -207,6 +208,19 @@ def _coerce_faults(value: Union[None, Dict, FaultSchedule]) -> Optional[FaultSch
     return value if value else None
 
 
+def _coerce_hetero(value: Union[None, Dict, HeteroSpec]) -> Optional[HeteroSpec]:
+    """Normalise a hetero field; a spec describing the legacy homogeneous
+    i.i.d. run is falsy and becomes ``None`` (same content-addressing rule
+    as :func:`_coerce_faults`: absent ≡ legacy, so they must hash alike)."""
+    if value is None:
+        return None
+    if isinstance(value, dict):
+        value = HeteroSpec.from_dict(value)
+    if not isinstance(value, HeteroSpec):
+        raise TypeError(f"cannot interpret {value!r} as a hetero spec")
+    return value if value else None
+
+
 # --------------------------------------------------------------------------- #
 # Scenario specification
 # --------------------------------------------------------------------------- #
@@ -258,6 +272,14 @@ class ScenarioSpec:
     #: drop rates / slowdowns, step-gated attack activation
     faults: Optional[FaultSchedule] = None
 
+    # -- data / worker heterogeneity ---------------------------------------- #
+    #: declarative :class:`~repro.hetero.HeteroSpec` (or its dict form):
+    #: non-i.i.d. partitions (Dirichlet label skew, shard splits, sample
+    #: imbalance, feature drift) and per-worker profiles (batch size,
+    #: local steps, delay multiplier).  Absent ≡ the legacy homogeneous
+    #: split, also for content addressing.
+    hetero: Optional[HeteroSpec] = None
+
     # -- workload ----------------------------------------------------------- #
     dataset: str = "blobs"
     dataset_size: int = 800
@@ -281,6 +303,7 @@ class ScenarioSpec:
         self.server_attack = _coerce_attack(self.server_attack)
         self.adversary = _coerce_adversary(self.adversary)
         self.faults = _coerce_faults(self.faults)
+        self.hetero = _coerce_hetero(self.hetero)
 
     # ------------------------------------------------------------------ #
     # Derived values
@@ -424,6 +447,12 @@ class ScenarioSpec:
                     f"'{self.server_attack.name}' is a worker attack, "
                     f"not a server attack")
 
+        if self.hetero is not None:
+            if self.sharding != "iid":
+                raise ValueError(
+                    "a hetero spec replaces the legacy sharding strategies; "
+                    f"leave sharding at 'iid' (got '{self.sharding}')")
+            self.hetero.validate(num_workers=self.num_workers)
         if self.external_communication and self.trainer != "vanilla":
             raise ValueError("external_communication models the 'vanilla "
                              "GuanYu' baseline and applies only to trainer "
@@ -534,6 +563,7 @@ class ScenarioSpec:
         # Canonical compact form (defaulted event fields omitted) so that
         # equal schedules serialise — and therefore hash — identically.
         payload["faults"] = self.faults.to_dict() if self.faults else None
+        payload["hetero"] = self.hetero.to_dict() if self.hetero else None
         return payload
 
     @classmethod
@@ -559,8 +589,9 @@ class ScenarioSpec:
         or harness chose to name them.  An absent ``faults`` schedule is
         excluded too: fault-free specs keep the addresses they had before
         fault injection existed, and the hash changes iff the schedule does.
-        The same absent≡legacy rule applies to ``adversary``, so stores
-        filled before the adversary engine existed stay valid.
+        The same absent≡legacy rule applies to ``adversary`` and
+        ``hetero``, so stores filled before the adversary or heterogeneity
+        engines existed stay valid.
         """
         payload = self.to_dict()
         del payload["name"]
@@ -568,6 +599,8 @@ class ScenarioSpec:
             del payload["faults"]
         if payload["adversary"] is None:
             del payload["adversary"]
+        if payload["hetero"] is None:
+            del payload["hetero"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -587,6 +620,8 @@ class ScenarioSpec:
             del payload["faults"]
         if payload["adversary"] is None:
             del payload["adversary"]
+        if payload["hetero"] is None:
+            del payload["hetero"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

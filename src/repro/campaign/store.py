@@ -55,6 +55,7 @@ class StoredResult:
             "workers": spec.num_workers,
             "seed": spec.seed,
             "fault_events": len(spec.faults.events) if spec.faults else 0,
+            "hetero": spec.hetero.partition if spec.hetero else None,
             "final_accuracy": self.history.final_accuracy(),
             "sim_time_s": self.history.total_time(),
             "key": self.key[:10],

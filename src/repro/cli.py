@@ -15,9 +15,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli sweep --gars multi_krum median \
         --attacks random_gradient sign_flip --seeds 0 1 --store results/
     python -m repro.cli sweep --adversaries omniscient_descent collusion
+    python -m repro.cli sweep --hetero iid dirichlet=0.1 shards=2
     python -m repro.cli resilience --mode crash --crashes 0 1 2 3
     python -m repro.cli resilience --mode partition --heal-steps 20 30 40
     python -m repro.cli breakdown --gars mean median multi_krum
+    python -m repro.cli hetero --skews iid dirichlet=1 dirichlet=0.1
 
 Every subcommand prints the regenerated table/figure as text (and an ASCII
 chart where the paper has a figure); ``--json PATH`` additionally writes the
@@ -26,10 +28,13 @@ scenario campaign (grid flags or a ``--spec`` JSON file) through the
 campaign engine — in parallel, with content-addressed result caching when
 ``--store`` is given; ``--faults FILE`` attaches a fault schedule to every
 grid cell and ``--adversaries`` sweeps stateful coordinated adversaries as
-a grid axis.  ``resilience`` runs the canned crash-vs-quorum and
-partition-heal fault studies; ``breakdown`` bisects the empirical
-breakdown point of each GAR under each adversary; ``attacks`` and ``list``
-print the registries sweep specs draw from.
+a grid axis; ``--hetero`` sweeps non-i.i.d. data partitions
+(``dirichlet=ALPHA``, ``shards=K``, ``imbalance=GAMMA``, ``drift=SIGMA``).
+``resilience`` runs the canned crash-vs-quorum and partition-heal fault
+studies; ``breakdown`` bisects the empirical breakdown point of each GAR
+under each adversary; ``hetero`` produces the accuracy-vs-skew × GAR ×
+adversary table of the heterogeneity study; ``attacks`` and ``list`` print
+the registries sweep specs draw from.
 """
 
 from __future__ import annotations
@@ -266,9 +271,13 @@ def cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name:<18} [{'adversary':<13}] "
               f"{first_doc_line(type(adversary))}")
 
-    print(f"\nTrainers:     {', '.join(available_trainers())}")
-    print(f"Delay models: {', '.join(available_delay_models())}")
-    print(f"Cost models:  {', '.join(available_cost_models())}")
+    from repro.hetero import available_partitions
+
+    print(f"\nTrainers:         {', '.join(available_trainers())}")
+    print(f"Delay models:     {', '.join(available_delay_models())}")
+    print(f"Cost models:      {', '.join(available_cost_models())}")
+    print(f"Hetero partitions: {', '.join(available_partitions())} "
+          f"(sweep --hetero / spec 'hetero' field)")
     return 0
 
 
@@ -334,6 +343,15 @@ def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
                                                             base.dataset)},
              "worker_attack": None, "server_attack": None}
             for name in args.adversaries]
+    if args.hetero:
+        from repro.hetero import HeteroSpec
+
+        entries = []
+        for token in args.hetero:
+            hetero = HeteroSpec.from_token(token)  # raises on typos
+            entries.append({"_name": token,
+                            "hetero": hetero.to_dict() if hetero else None})
+        grid["hetero"] = entries
     if args.seeds:
         grid["seed"] = list(args.seeds)
     if args.workers_grid:
@@ -458,6 +476,43 @@ def cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Hetero subcommand (heterogeneity engine)
+# --------------------------------------------------------------------------- #
+def cmd_hetero(args: argparse.Namespace) -> int:
+    from repro.experiments.heterogeneity import (
+        heterogeneity_table,
+        run_heterogeneity_study,
+    )
+
+    scale = _scale_from_args(args)
+    try:
+        store = ResultStore(args.store) if args.store else None
+    except OSError as exc:
+        print(f"error: unusable store path: {exc}", file=sys.stderr)
+        return 2
+    results, histories = run_heterogeneity_study(
+        scale=scale, skews=tuple(args.skews), gars=tuple(args.gars),
+        adversaries=tuple(args.adversaries),
+        seeds=tuple(args.seeds) if args.seeds else None, store=store,
+        processes=args.processes, batch_seeds=args.batch_seeds)
+    rows = heterogeneity_table(results)
+    print("Heterogeneity study — final accuracy per skew level\n"
+          "(honest gradients fragment as skew grows; Byzantine vectors "
+          "hide inside the honest spread)\n")
+    print(format_table(rows, float_format="{:.4f}"))
+    if store is not None:
+        print(f"\nresult store: {store.root} ({len(store)} entries)")
+    _dump_json(args.json, {
+        "rows": rows,
+        "losses": [{"gradient_rule": result.gradient_rule,
+                    "adversary": result.adversary,
+                    "losses": result.losses} for result in results],
+        "histories": _histories_payload(histories),
+    })
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -542,6 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run scenarios that differ only in seed as one "
                             "vectorised multi-replica execution (bit-"
                             "identical per seed; see docs/performance.md)")
+    sweep.add_argument("--hetero", nargs="+", default=None, metavar="SKEW",
+                       help="data-heterogeneity levels to sweep over (iid, "
+                            "dirichlet=ALPHA, shards=K, imbalance=GAMMA, "
+                            "drift=SIGMA)")
     sweep.add_argument("--faults", default=None, metavar="FILE",
                        help="fault-schedule JSON applied to every grid cell")
     sweep.add_argument("--skip-invalid", action="store_true",
@@ -593,6 +652,35 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown.add_argument("--store", default=None,
                            help="result-store directory (caching/resume)")
     breakdown.set_defaults(func=cmd_breakdown)
+
+    hetero = subparsers.add_parser(
+        "hetero",
+        help="accuracy-vs-skew × GAR × adversary heterogeneity study "
+             "(non-i.i.d. partitions)")
+    hetero.add_argument("--skews", nargs="+", metavar="SKEW",
+                        default=["iid", "dirichlet=10", "dirichlet=1",
+                                 "dirichlet=0.1"],
+                        help="heterogeneity levels (iid, dirichlet=ALPHA, "
+                             "shards=K, imbalance=GAMMA, drift=SIGMA)")
+    hetero.add_argument("--gars", nargs="+", metavar="RULE",
+                        default=["mean", "median", "multi_krum"],
+                        help="gradient aggregation rules to compare")
+    hetero.add_argument("--adversaries", nargs="+", metavar="ADVERSARY",
+                        default=["none", "collusion"],
+                        help="adversaries per rule ('none' = honest "
+                             "baseline; legacy attack names wrap)")
+    hetero.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="seed replicas per cell (table reports the "
+                             "mean; default: the scale's single seed)")
+    hetero.add_argument("--store", default=None,
+                        help="result-store directory (caching/resume)")
+    hetero.add_argument("--processes", type=int, default=None,
+                        help="pool size (default: serial)")
+    hetero.add_argument("--batch-seeds", action="store_true",
+                        help="run each cell's seed replicas as one "
+                             "vectorised multi-replica execution "
+                             "(needs --seeds with >= 2 values)")
+    hetero.set_defaults(func=cmd_hetero)
     return parser
 
 

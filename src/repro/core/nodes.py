@@ -103,16 +103,34 @@ class WorkerNode:
         Optional :class:`WorkerAttack` making this worker Byzantine.
     seed:
         Seed of the worker-local random generator (attack noise).
+    local_steps:
+        Local gradient computations per protocol round (heterogeneous
+        worker profiles).  With ``k > 1`` the worker walks ``k`` local SGD
+        steps from the aggregated model (learning rate from ``schedule``)
+        and submits the *mean* gradient along that trajectory; ``k = 1``
+        is bit-identical to the legacy single gradient.
+    schedule:
+        Learning-rate schedule for the local steps (required when
+        ``local_steps > 1``; the trainers pass their own schedule so the
+        local walk matches the server update rule).
     """
 
     def __init__(self, node_id: str, model: Module, loader: DataLoader,
                  model_aggregator: GradientAggregationRule,
-                 attack: Optional[WorkerAttack] = None, seed: int = 0) -> None:
+                 attack: Optional[WorkerAttack] = None, seed: int = 0,
+                 local_steps: int = 1,
+                 schedule: Optional[LearningRateSchedule] = None) -> None:
+        if local_steps < 1:
+            raise ValueError("local_steps must be >= 1")
+        if local_steps > 1 and schedule is None:
+            raise ValueError("local_steps > 1 needs a learning-rate schedule")
         self.node_id = node_id
         self.model = model
         self.loader = loader
         self.model_aggregator = model_aggregator
         self.attack = attack
+        self.local_steps = local_steps
+        self.schedule = schedule
         self.criterion = CrossEntropyLoss()
         self._rng = np.random.default_rng(seed)
         self.last_result: Optional[GradientResult] = None
@@ -137,23 +155,47 @@ class WorkerNode:
         on the batch, not the message) are still routed through here.
         """
         aggregated = self.aggregate_models(parameter_vectors)
-        self.model.set_flat_parameters(aggregated)
         self._last_aggregated = aggregated
+        if self.local_steps == 1:
+            gradient, loss, batch_size = self._one_gradient(aggregated, step)
+            result = GradientResult(gradient=gradient, loss=loss,
+                                    batch_size=batch_size)
+            self.last_result = result
+            return result
 
+        # Heterogeneous profile: walk ``k`` local SGD steps and submit the
+        # mean gradient along the trajectory (normalised so the server-side
+        # update has the same scale as a single gradient).  The batched
+        # runtime replays this loop op-for-op (see repro.batch.trainer).
+        eta = self.schedule(step)
+        theta = aggregated
+        gradient_sum = np.zeros_like(aggregated)
+        losses = []
+        total_samples = 0
+        for _ in range(self.local_steps):
+            gradient, loss, batch_size = self._one_gradient(theta, step)
+            gradient_sum += gradient
+            losses.append(loss)
+            total_samples += batch_size
+            theta = theta - eta * gradient
+        result = GradientResult(gradient=gradient_sum / self.local_steps,
+                                loss=float(np.mean(losses)),
+                                batch_size=total_samples)
+        self.last_result = result
+        return result
+
+    def _one_gradient(self, parameters: np.ndarray, step: int):
+        """One forward/backward at ``parameters`` on the next mini-batch."""
+        self.model.set_flat_parameters(parameters)
         features, labels = self.loader.next_batch()
         features, labels = poison_worker_batch(self.attack, self._rng,
-                                               aggregated, step,
+                                               parameters, step,
                                                features, labels)
-
         self.model.zero_grad()
         logits = self.model(Tensor(features))
         loss = self.criterion(logits, labels)
         loss.backward()
-        gradient = self.model.get_flat_gradient()
-        result = GradientResult(gradient=gradient, loss=float(loss.item()),
-                                batch_size=len(labels))
-        self.last_result = result
-        return result
+        return self.model.get_flat_gradient(), float(loss.item()), len(labels)
 
     def outgoing_gradient(self, result: GradientResult, step: int,
                           peer_gradients: Sequence[np.ndarray] = (),

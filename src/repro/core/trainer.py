@@ -29,8 +29,9 @@ from repro.byzantine.base import ServerAttack, WorkerAttack
 from repro.core.config import ClusterConfig
 from repro.core.nodes import GradientResult, ServerNode, WorkerNode, max_pairwise_distance
 from repro.data.datasets import Dataset
-from repro.data.loader import DataLoader, shard_dataset
+from repro.data.loader import DataLoader, partition_dataset
 from repro.faults import FaultController, FaultSchedule
+from repro.hetero import DEFAULT_PROFILE, HeteroSpec, WorkerProfile
 from repro.metrics.accuracy import evaluate_accuracy
 from repro.metrics.tracker import StepRecord, TrainingHistory
 from repro.network.delays import DelayModel, UniformDelay
@@ -120,6 +121,13 @@ class DistributedTrainer:
         partitions, delay spikes, gated attacks) injected at the network
         and protocol layer.  Only :class:`GuanYuTrainer` supports it — the
         single-server baselines assume a live trusted server.
+    hetero:
+        Optional :class:`~repro.hetero.HeteroSpec`: non-i.i.d. data
+        partitions (Dirichlet label skew, shard splits, sample imbalance,
+        feature drift) and heterogeneous worker profiles (per-worker batch
+        size, local steps, delay multiplier).  Partitions are a pure
+        function of ``(seed, num_workers, hetero)``, identical across all
+        runtimes; absent means the legacy homogeneous ``sharding`` split.
     """
 
     def __init__(self, model_fn: ModelFactory, train_dataset: Dataset,
@@ -130,11 +138,13 @@ class DistributedTrainer:
                  sharding: str = "iid", seed: int = 0,
                  cost_num_parameters: Optional[int] = None,
                  fault_schedule: Optional[FaultSchedule] = None,
+                 hetero: Optional[HeteroSpec] = None,
                  label: str = "experiment") -> None:
         self.model_fn = model_fn
         self.train_dataset = train_dataset
         self.test_dataset = test_dataset
         self.batch_size = batch_size
+        self.hetero = hetero
         self.schedule = schedule if schedule is not None else ConstantSchedule(0.001)
         self.delay_model = delay_model if delay_model is not None else UniformDelay()
         self.cost_model = cost_model
@@ -159,12 +169,22 @@ class DistributedTrainer:
     def _build_workers(self, worker_ids: Sequence[str],
                        attacks: Dict[str, Optional[WorkerAttack]],
                        model_aggregator_fn: Callable[[], object]) -> List[WorkerNode]:
-        shards = shard_dataset(self.train_dataset, len(worker_ids),
-                               strategy=self.sharding, seed=self.seed)
+        shards = partition_dataset(self.train_dataset, len(worker_ids),
+                                   sharding=self.sharding, hetero=self.hetero,
+                                   seed=self.seed)
+        self.worker_profiles: List[WorkerProfile] = [
+            self.hetero.profile_for(index) if self.hetero else DEFAULT_PROFILE
+            for index in range(len(worker_ids))]
+        self._delay_multipliers: Dict[str, float] = {
+            worker_id: profile.delay_multiplier
+            for worker_id, profile in zip(worker_ids, self.worker_profiles)}
         workers = []
         for index, worker_id in enumerate(worker_ids):
-            loader = DataLoader(shards[index], batch_size=self.batch_size,
-                                seed=self.seed + 1000 + index)
+            profile = self.worker_profiles[index]
+            loader = DataLoader(
+                shards[index],
+                batch_size=profile.batch_size or self.batch_size,
+                seed=self.seed + 1000 + index)
             workers.append(WorkerNode(
                 node_id=worker_id,
                 model=self.model_fn(),
@@ -172,8 +192,14 @@ class DistributedTrainer:
                 model_aggregator=model_aggregator_fn(),
                 attack=attacks.get(worker_id),
                 seed=self.seed + 2000 + index,
+                local_steps=profile.local_steps,
+                schedule=self.schedule,
             ))
         return workers
+
+    def _worker_delay_multiplier(self, worker_id: str) -> float:
+        """Straggler factor a worker profile applies to its compute time."""
+        return self._delay_multipliers.get(worker_id, 1.0)
 
     def _evaluate(self, parameters: np.ndarray, max_samples: Optional[int]) -> float:
         if self.test_dataset is None:
@@ -321,6 +347,7 @@ class GuanYuTrainer(DistributedTrainer):
             "adversary": getattr(adversary, "name", None),
             "faults": (self.fault_schedule.to_dict()
                        if self.fault_schedule else None),
+            "hetero": self.hetero.to_dict() if self.hetero else None,
         }
 
     # ------------------------------------------------------------------ #
@@ -442,8 +469,9 @@ class GuanYuTrainer(DistributedTrainer):
                 not_before=self._worker_clock[worker.node_id])
             result = worker.compute_gradient(record.payloads, step_index)
             results[worker.node_id] = result
-            compute_time = (cost.median_time(config.model_quorum, d)
-                            + cost.gradient_time(result.batch_size, d))
+            compute_time = self._worker_delay_multiplier(worker.node_id) * (
+                cost.median_time(config.model_quorum, d)
+                + cost.gradient_time(result.batch_size, d))
             self._worker_clock[worker.node_id] = record.completion_time + compute_time
 
         alive_correct_workers = [w for w in alive_workers if not w.is_byzantine]
@@ -615,6 +643,7 @@ class VanillaTrainer(DistributedTrainer):
             "gradient_rule": getattr(self.gradient_rule, "name", "mean"),
             "num_attacking_workers": num_attacking_workers,
             "worker_attack": getattr(worker_attack, "name", None),
+            "hetero": self.hetero.to_dict() if self.hetero else None,
         }
 
     # ------------------------------------------------------------------ #
@@ -646,7 +675,9 @@ class VanillaTrainer(DistributedTrainer):
             result = worker.compute_gradient(record.payloads, step_index)
             results[worker.node_id] = result
             self._worker_clock[worker.node_id] = (
-                record.completion_time + cost.gradient_time(result.batch_size, d))
+                record.completion_time
+                + self._worker_delay_multiplier(worker.node_id)
+                * cost.gradient_time(result.batch_size, d))
             if not worker.is_byzantine:
                 correct_gradients.append(result.gradient)
 

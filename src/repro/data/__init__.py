@@ -16,7 +16,7 @@ from repro.data.datasets import (
     make_moons_dataset,
     make_spirals_dataset,
 )
-from repro.data.loader import DataLoader, shard_dataset
+from repro.data.loader import DataLoader, partition_dataset, shard_dataset
 
 __all__ = [
     "Dataset",
@@ -26,5 +26,6 @@ __all__ = [
     "make_spirals_dataset",
     "make_moons_dataset",
     "DataLoader",
+    "partition_dataset",
     "shard_dataset",
 ]

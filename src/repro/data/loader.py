@@ -3,7 +3,10 @@
 In the paper's deployment each worker samples mini-batches from its local
 copy of CIFAR-10.  Here :func:`shard_dataset` splits a dataset across
 workers (either disjointly or with full replication), and :class:`DataLoader`
-draws reproducible mini-batches from a shard.
+draws reproducible mini-batches from a shard.  :func:`partition_dataset` is
+the partitioner front door every runtime goes through: it dispatches to the
+heterogeneity engine (:mod:`repro.hetero`) when a hetero spec is present
+and to the legacy uniform split otherwise.
 """
 
 from __future__ import annotations
@@ -57,6 +60,29 @@ class DataLoader:
     def __len__(self) -> int:
         """Number of mini-batches per epoch."""
         return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+
+def partition_dataset(dataset: Dataset, num_workers: int,
+                      sharding: str = "iid", hetero=None,
+                      seed: int = 0) -> List[Dataset]:
+    """Split a dataset into per-worker datasets (the runtimes' front door).
+
+    With a truthy :class:`~repro.hetero.HeteroSpec` the split comes from
+    the heterogeneity engine — a pure function of ``(seed, num_workers,
+    hetero)``, bit-identical across the sequential, threaded and batched
+    runtimes.  Otherwise the legacy :func:`shard_dataset` strategies apply.
+    A hetero spec cannot be combined with a non-default legacy strategy:
+    both would claim the partition.
+    """
+    if hetero is not None and hetero:
+        if sharding != "iid":
+            raise ValueError(
+                f"hetero partitions replace the legacy sharding strategies; "
+                f"leave sharding at 'iid' (got '{sharding}')")
+        from repro.hetero.partition import hetero_partition  # lazy: no cycle
+
+        return hetero_partition(dataset, num_workers, hetero, seed=seed)
+    return shard_dataset(dataset, num_workers, strategy=sharding, seed=seed)
 
 
 def shard_dataset(dataset: Dataset, num_shards: int, strategy: str = "iid",

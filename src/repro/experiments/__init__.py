@@ -14,6 +14,7 @@ share exactly the same code:
 ``ablations``          GAR ablation, attack sweep, cluster-size scaling
 ``resilience``         crash-vs-quorum and partition-heal fault studies
 ``breakdown``          empirical breakdown-point search per (GAR, adversary)
+``heterogeneity``      accuracy vs. data skew × GAR × adversary (non-i.i.d.)
 =====================  ===========================================================
 
 The experiments run on a scaled-down workload (synthetic data, small models,
@@ -44,6 +45,11 @@ from repro.experiments.resilience import (
     run_partition_heal_study,
     schedule_for_crashes,
 )
+from repro.experiments.heterogeneity import (
+    HeterogeneityResult,
+    heterogeneity_table,
+    run_heterogeneity_study,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -67,4 +73,7 @@ __all__ = [
     "run_crash_quorum_study",
     "run_partition_heal_study",
     "schedule_for_crashes",
+    "HeterogeneityResult",
+    "heterogeneity_table",
+    "run_heterogeneity_study",
 ]

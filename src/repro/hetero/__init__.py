@@ -1,0 +1,48 @@
+"""Data-heterogeneity engine: non-i.i.d. partitions and worker profiles.
+
+The paper's convergence analysis assumes every honest worker draws i.i.d.
+samples from one distribution.  The GAR literature it builds on (Krum,
+Multi-Krum, Bulyan) is known to degrade when honest gradients are
+*heterogeneous* — label skew widens the honest spread and Byzantine
+vectors hide inside it.  This package makes that regime a first-class,
+declarative sweep axis:
+
+* :class:`HeteroSpec` — JSON-serialisable description of how the training
+  data is split across workers (Dirichlet label skew, pathological shard
+  splits, sample-count imbalance, per-worker feature drift) and how the
+  workers themselves differ (:class:`WorkerProfile`: per-worker batch
+  size, local gradient steps, delay multiplier);
+* :func:`hetero_partition` — the deterministic partitioner.  Partitions
+  are a **pure function of** ``(seed, num_workers, spec)``: every runtime
+  (sequential simulator, threaded cluster, batched multi-replica) builds
+  bit-identical per-worker datasets from the same scenario.
+
+``repro.data.partition_dataset`` dispatches between this engine and the
+legacy uniform split; :class:`~repro.campaign.spec.ScenarioSpec` carries
+the spec under its ``hetero`` field (absent ≡ legacy, also for content
+addressing).  See ``docs/heterogeneity.md``.
+"""
+
+from repro.hetero.partition import (
+    dirichlet_class_proportions,
+    hetero_partition,
+    imbalanced_counts,
+    partition_indices,
+)
+from repro.hetero.spec import (
+    DEFAULT_PROFILE,
+    HeteroSpec,
+    WorkerProfile,
+    available_partitions,
+)
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "HeteroSpec",
+    "WorkerProfile",
+    "available_partitions",
+    "dirichlet_class_proportions",
+    "hetero_partition",
+    "imbalanced_counts",
+    "partition_indices",
+]

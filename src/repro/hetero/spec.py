@@ -1,0 +1,268 @@
+"""Declarative heterogeneity specifications.
+
+:class:`HeteroSpec` describes *how honest workers differ from each other*:
+how the training data is partitioned across them (the statistical side)
+and how the workers themselves behave (the systems side, via
+:class:`WorkerProfile`).  Both halves are plain JSON-serialisable data so
+they can ride inside a :class:`~repro.campaign.spec.ScenarioSpec`, hash
+into its content address, and expand as grid axes.
+
+Serialisation follows the fault-schedule precedent: :meth:`HeteroSpec.to_dict`
+emits a canonical *compact* form (defaulted fields omitted), so equal
+configurations serialise — and therefore hash — identically, and knobs
+added later never disturb the addresses of stores that predate them.
+A spec that describes the legacy homogeneous i.i.d. split is *falsy* and
+normalises to an absent field entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: partition schemes the engine implements
+_PARTITIONS = ("iid", "dirichlet", "shards")
+
+
+def available_partitions() -> List[str]:
+    """Partition schemes a ``hetero`` spec can request."""
+    return list(_PARTITIONS)
+
+
+# --------------------------------------------------------------------------- #
+# Worker profiles
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkerProfile:
+    """How one (class of) worker differs from the homogeneous default.
+
+    Attributes
+    ----------
+    batch_size:
+        Per-worker mini-batch size override (``None`` keeps the scenario's
+        global ``batch_size``).
+    local_steps:
+        Number of local gradient computations per protocol round.  With
+        ``k > 1`` the worker walks ``k`` local SGD steps from the
+        aggregated model and submits the *mean* gradient along that local
+        trajectory (the FedAvg-style pseudo-gradient, normalised so
+        ``k = 1`` is exactly the legacy single gradient).
+    delay_multiplier:
+        Straggler factor ≥ 0 applied to the worker's computation time on
+        the simulated clock (and, scaled, to its sleep in the threaded
+        runtime).  ``1.0`` is the homogeneous default.
+    """
+
+    batch_size: Optional[int] = None
+    local_steps: int = 1
+    delay_multiplier: float = 1.0
+
+    def validate(self) -> "WorkerProfile":
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError("profile batch_size must be positive")
+        if self.local_steps < 1:
+            raise ValueError("profile local_steps must be >= 1")
+        if self.delay_multiplier <= 0:
+            raise ValueError("profile delay_multiplier must be positive")
+        return self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact form: defaulted fields omitted (canonical for hashing)."""
+        payload: Dict[str, Any] = {}
+        if self.batch_size is not None:
+            payload["batch_size"] = self.batch_size
+        if self.local_steps != 1:
+            payload["local_steps"] = self.local_steps
+        if self.delay_multiplier != 1.0:
+            payload["delay_multiplier"] = self.delay_multiplier
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "WorkerProfile":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown worker-profile fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def __bool__(self) -> bool:
+        return bool(self.to_dict())
+
+
+#: the homogeneous worker every scenario had before this engine existed
+DEFAULT_PROFILE = WorkerProfile()
+
+
+# --------------------------------------------------------------------------- #
+# Heterogeneity spec
+# --------------------------------------------------------------------------- #
+@dataclass
+class HeteroSpec:
+    """Complete description of a heterogeneous deployment.
+
+    Attributes
+    ----------
+    partition:
+        ``"iid"`` (uniform split, the legacy default), ``"dirichlet"``
+        (per-class worker proportions drawn from ``Dir(alpha)`` — the
+        standard federated-learning label-skew model) or ``"shards"``
+        (sort by label, cut into ``num_workers * shards_per_worker``
+        contiguous shards, deal each worker ``shards_per_worker`` of them
+        — the pathological split of the FedAvg paper).
+    alpha:
+        Dirichlet concentration.  Large values (≥ 10) approach i.i.d.;
+        small values (≤ 0.1) give near single-class workers.
+    shards_per_worker:
+        Shards dealt to each worker under ``partition="shards"`` — an
+        upper bound on the distinct labels a worker can see.
+    imbalance:
+        Sample-count skew exponent ≥ 0.  Worker target sizes are drawn
+        proportional to ``rank^-imbalance`` (ranks shuffled by the seed),
+        so ``0`` keeps balanced counts and larger values concentrate the
+        data on few workers.  Composes with ``iid`` and ``dirichlet``;
+        rejected for ``shards`` (shard cardinality fixes the counts).
+    min_samples:
+        Per-worker sample floor; the partitioner tops up starved workers
+        from the largest ones, deterministically.
+    feature_drift:
+        Standard deviation of a per-worker additive feature offset (drawn
+        once per worker from its own seeded stream) — covariate shift on
+        top of any label skew.
+    profiles:
+        Worker profiles assigned round-robin (worker ``i`` gets
+        ``profiles[i % len(profiles)]``); empty means every worker runs
+        the homogeneous default.
+    """
+
+    partition: str = "iid"
+    alpha: float = 1.0
+    shards_per_worker: int = 2
+    imbalance: float = 0.0
+    min_samples: int = 1
+    feature_drift: float = 0.0
+    profiles: List[WorkerProfile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.profiles = [profile if isinstance(profile, WorkerProfile)
+                         else WorkerProfile.from_dict(profile)
+                         for profile in self.profiles]
+
+    # ------------------------------------------------------------------ #
+    def __bool__(self) -> bool:
+        """Whether the spec departs from the legacy homogeneous run at all."""
+        return bool(self.to_dict())
+
+    def profile_for(self, worker_index: int) -> WorkerProfile:
+        """The profile worker ``worker_index`` runs (round-robin assignment)."""
+        if not self.profiles:
+            return DEFAULT_PROFILE
+        return self.profiles[worker_index % len(self.profiles)]
+
+    def heterogeneous_data(self) -> bool:
+        """Whether the data partition differs from the uniform i.i.d. split."""
+        return (self.partition != "iid" or self.imbalance != 0.0
+                or self.feature_drift != 0.0)
+
+    # ------------------------------------------------------------------ #
+    def validate(self, num_workers: Optional[int] = None) -> "HeteroSpec":
+        """Check admissibility; raises ``ValueError`` on an invalid spec."""
+        if self.partition not in _PARTITIONS:
+            raise ValueError(f"unknown partition '{self.partition}'; "
+                             f"available: {available_partitions()}")
+        if self.alpha <= 0:
+            raise ValueError("dirichlet alpha must be positive")
+        if self.shards_per_worker < 1:
+            raise ValueError("shards_per_worker must be >= 1")
+        if self.imbalance < 0:
+            raise ValueError("imbalance must be non-negative")
+        if self.partition == "shards" and self.imbalance != 0.0:
+            raise ValueError("imbalance composes with 'iid' and 'dirichlet' "
+                             "partitions only; under 'shards' the shard "
+                             "cardinality fixes the per-worker counts")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.feature_drift < 0:
+            raise ValueError("feature_drift must be non-negative")
+        for profile in self.profiles:
+            profile.validate()
+        if num_workers is not None and len(self.profiles) > num_workers:
+            raise ValueError(
+                f"{len(self.profiles)} worker profiles for {num_workers} "
+                f"workers; profiles are dealt round-robin and extras would "
+                f"silently never run")
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (canonical compact form)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact canonical form: only the fields that shape the run.
+
+        Scheme parameters irrelevant to the chosen partition are dropped
+        (``alpha`` outside ``dirichlet``, ``shards_per_worker`` outside
+        ``shards``), so two specs describing the same deployment hash to
+        the same content address.
+        """
+        payload: Dict[str, Any] = {}
+        if self.partition != "iid":
+            payload["partition"] = self.partition
+        if self.partition == "dirichlet" and self.alpha != 1.0:
+            payload["alpha"] = self.alpha
+        if self.partition == "shards" and self.shards_per_worker != 2:
+            payload["shards_per_worker"] = self.shards_per_worker
+        if self.imbalance != 0.0:
+            payload["imbalance"] = self.imbalance
+        if self.min_samples != 1 and self.heterogeneous_data():
+            payload["min_samples"] = self.min_samples
+        if self.feature_drift != 0.0:
+            payload["feature_drift"] = self.feature_drift
+        profiles = [profile.to_dict() for profile in self.profiles]
+        if any(profiles):
+            payload["profiles"] = profiles
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "HeteroSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown hetero fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_token(cls, token: str) -> Optional["HeteroSpec"]:
+        """Parse a sweep-axis token into a spec (``None`` for ``iid``).
+
+        Tokens name one knob each — the shorthand the ``sweep --hetero``
+        axis and the ``hetero`` study CLI share::
+
+            iid              the legacy homogeneous split
+            dirichlet=ALPHA  Dirichlet label skew with concentration ALPHA
+            shards=K         pathological split, K shards per worker
+            imbalance=GAMMA  sample-count skew with exponent GAMMA
+            drift=SIGMA      per-worker feature drift of std SIGMA
+
+        Richer combinations (profiles, composed knobs) go through the JSON
+        ``hetero`` field of a ``--spec`` campaign file instead.
+        """
+        name, _, value = token.partition("=")
+        if name == "iid":
+            if value:
+                raise ValueError(f"'iid' takes no value (got '{token}')")
+            return None
+        try:
+            if name == "dirichlet":
+                return cls(partition="dirichlet", alpha=float(value))
+            if name == "shards":
+                return cls(partition="shards", shards_per_worker=int(value))
+            if name == "imbalance":
+                return cls(imbalance=float(value))
+            if name == "drift":
+                return cls(feature_drift=float(value))
+        except ValueError as exc:
+            raise ValueError(f"bad hetero token '{token}': {exc}") from None
+        raise ValueError(
+            f"unknown hetero token '{token}'; expected iid, dirichlet=ALPHA, "
+            f"shards=K, imbalance=GAMMA or drift=SIGMA")

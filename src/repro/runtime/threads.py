@@ -28,8 +28,9 @@ from repro.byzantine.base import ServerAttack, WorkerAttack
 from repro.core.config import ClusterConfig
 from repro.core.nodes import ServerNode, WorkerNode, max_pairwise_distance
 from repro.data.datasets import Dataset
-from repro.data.loader import DataLoader, shard_dataset
+from repro.data.loader import DataLoader, partition_dataset
 from repro.faults import FaultController, FaultSchedule
+from repro.hetero import DEFAULT_PROFILE, HeteroSpec
 from repro.aggregation import get_rule
 from repro.metrics.tracker import StepRecord, TrainingHistory
 from repro.network.message import Message, MessageKind
@@ -202,7 +203,20 @@ class ThreadedClusterRuntime:
         threads block (bounded by ``quorum_timeout``) until the round is
         fully observable — the in-process equivalent of the paper's
         omniscient adversary reading every node's memory.
+    sharding, hetero:
+        Per-worker data views, identical to the simulated trainers: the
+        legacy ``sharding`` strategies or a
+        :class:`~repro.hetero.HeteroSpec` (Dirichlet/shard partitions,
+        imbalance, drift, worker profiles).  The partition is a pure
+        function of ``(seed, num_workers, hetero)``, so a scenario means
+        the same per-worker data here as on the simulated clock.  Profile
+        ``delay_multiplier``\\ s become real sleeps
+        (``HETERO_STRAGGLER_UNIT`` seconds per unit of excess delay) on
+        top of any explicit ``straggler_sleep``.
     """
+
+    #: wall-clock seconds one unit of profile delay_multiplier excess adds
+    HETERO_STRAGGLER_UNIT = 0.002
 
     def __init__(self, config: ClusterConfig, model_fn: Callable[[], Module],
                  train_dataset: Dataset, batch_size: int = 16,
@@ -218,6 +232,8 @@ class ThreadedClusterRuntime:
                  quorum_timeout: float = 60.0,
                  fault_schedule: Optional[FaultSchedule] = None,
                  adversary=None,
+                 sharding: str = "iid",
+                 hetero: Optional[HeteroSpec] = None,
                  seed: int = 0) -> None:
         if num_attacking_workers > config.num_byzantine_workers:
             raise ValueError("more attacking workers than declared Byzantine workers")
@@ -250,7 +266,18 @@ class ThreadedClusterRuntime:
         self.transport = ThreadedTransport(worker_ids + server_ids, jitter=jitter,
                                            seed=seed, fault_controller=self.faults)
 
-        shards = shard_dataset(train_dataset, len(worker_ids), seed=seed)
+        self.hetero = hetero
+        shards = partition_dataset(train_dataset, len(worker_ids),
+                                   sharding=sharding, hetero=hetero,
+                                   seed=seed)
+        profiles = [hetero.profile_for(index) if hetero else DEFAULT_PROFILE
+                    for index in range(len(worker_ids))]
+        for worker_id, profile in zip(worker_ids, profiles):
+            if profile.delay_multiplier != 1.0:
+                self.straggler_sleep[worker_id] = (
+                    self.straggler_sleep.get(worker_id, 0.0)
+                    + (profile.delay_multiplier - 1.0)
+                    * self.HETERO_STRAGGLER_UNIT)
 
         self.adversary = adversary
         #: set only for adversaries that observe the round's gradients —
@@ -263,16 +290,25 @@ class ThreadedClusterRuntime:
             self._observation_board = self.adversary_coordinator
         self._attacking_workers = attacking_workers
 
+        # Seed constants match the simulated trainers (loader 1000+i,
+        # worker rng 2000+i, server rng 3000+i): a scenario's per-worker
+        # data stream and attack noise are the same cluster under every
+        # runtime, which is what makes the cross-runtime heterogeneity
+        # equivalence tests possible at all.
         self.workers = []
         for index, worker_id in enumerate(worker_ids):
-            loader = DataLoader(shards[index], batch_size=batch_size,
-                                seed=seed + 100 + index)
+            profile = profiles[index]
+            loader = DataLoader(shards[index],
+                                batch_size=profile.batch_size or batch_size,
+                                seed=seed + 1000 + index)
             self.workers.append(WorkerNode(
                 node_id=worker_id, model=model_fn(), loader=loader,
                 model_aggregator=get_rule(model_rule_name,
                                           num_byzantine=config.num_byzantine_servers),
                 attack=worker_attacks[worker_id],
-                seed=seed + 200 + index))
+                seed=seed + 2000 + index,
+                local_steps=profile.local_steps,
+                schedule=self.schedule))
 
         self.servers = []
         for index, server_id in enumerate(server_ids):
@@ -284,7 +320,7 @@ class ThreadedClusterRuntime:
                                           num_byzantine=config.num_byzantine_servers),
                 schedule=self.schedule,
                 attack=server_attacks[server_id],
-                seed=seed + 300 + index))
+                seed=seed + 3000 + index))
 
         if self.faults is not None:
             for node in [*self.workers, *self.servers]:
@@ -296,10 +332,16 @@ class ThreadedClusterRuntime:
                                                                      "name", None),
                                                 "faults": (fault_schedule.to_dict()
                                                            if fault_schedule
+                                                           else None),
+                                                "hetero": (hetero.to_dict()
+                                                           if hetero
                                                            else None)})
         self._record_lock = threading.Lock()
         self._step_times: Dict[int, float] = {}
-        self._step_losses: Dict[int, List[float]] = defaultdict(list)
+        #: step → worker_id → loss; keyed (not appended) so the per-step
+        #: mean can be taken in canonical worker order, independent of the
+        #: order the racing worker threads happened to finish in
+        self._step_losses: Dict[int, Dict[str, float]] = defaultdict(dict)
         self._start_time = 0.0
 
     # ------------------------------------------------------------------ #
@@ -380,7 +422,7 @@ class ThreadedClusterRuntime:
                     # point copying gradients nobody will read).
                     board.publish(worker.node_id, step, result.gradient)
                 with self._record_lock:
-                    self._step_losses[step].append(result.loss)
+                    self._step_losses[step][worker.node_id] = result.loss
             self._maybe_straggle(worker.node_id)
             for server_id in server_ids:
                 payload = worker.outgoing_gradient(result, step,
@@ -464,8 +506,11 @@ class ThreadedClusterRuntime:
 
         spread = max_pairwise_distance(
             [server.current_parameters() for server in self.correct_servers])
+        worker_order = [worker.node_id for worker in self.workers]
         for step in range(num_steps):
-            losses = self._step_losses.get(step, [])
+            by_worker = self._step_losses.get(step, {})
+            losses = [by_worker[worker_id] for worker_id in worker_order
+                      if worker_id in by_worker]
             self._history.add(StepRecord(
                 step=step,
                 simulated_time=self._step_times.get(step, 0.0),

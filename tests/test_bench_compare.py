@@ -171,3 +171,62 @@ class TestBenchAdversary:
                                      "--output", str(output),
                                      "--max-slowdown", "0.0001"])
         assert code == 1
+
+
+class TestReportFormatAdapters:
+    """All three committed bench artifacts must feed one comparator."""
+
+    CAMPAIGN = {"benchmark": "campaign_seed_sweep",
+                "batched_seconds_per_replica": 0.03,
+                "sequential_seconds_per_replica": 0.2,
+                "speedup": 6.7}
+    ADVERSARY = {"benchmark": "adversary_overhead",
+                 "variants": {"honest": {"seconds_per_round": 0.004},
+                              "adversary_omniscient":
+                                  {"seconds_per_round": 0.006}}}
+
+    def test_campaign_report_adapts_to_per_replica_medians(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(self.CAMPAIGN))
+        medians = load_medians(str(path))
+        assert medians == {
+            "campaign_seed_sweep/batched_seconds_per_replica": 0.03,
+            "campaign_seed_sweep/sequential_seconds_per_replica": 0.2}
+
+    def test_adversary_report_adapts_to_per_round_medians(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps(self.ADVERSARY))
+        medians = load_medians(str(path))
+        assert medians["adversary_overhead/honest"] == 0.004
+        assert medians["adversary_overhead/adversary_omniscient"] == 0.006
+
+    def test_synthetic_campaign_regression_fails_gate(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(self.CAMPAIGN))
+        slow = dict(self.CAMPAIGN,
+                    batched_seconds_per_replica=0.03 * 2.0)
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(slow))
+        assert main([str(current), str(baseline),
+                     "--threshold", "1.60"]) == 1
+        assert main([str(baseline), str(baseline),
+                     "--threshold", "1.60"]) == 0
+
+    def test_truncated_reports_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"benchmark": "campaign_seed_sweep"}))
+        with pytest.raises(ValueError, match="lacks"):
+            load_medians(str(path))
+        path.write_text(json.dumps({"benchmark": "adversary_overhead",
+                                    "variants": {}}))
+        with pytest.raises(ValueError, match="variants"):
+            load_medians(str(path))
+
+    @pytest.mark.parametrize("name", ["BENCH_campaign.json",
+                                      "BENCH_adversary.json"])
+    def test_committed_baselines_parse(self, name):
+        baseline = Path(__file__).resolve().parents[1] \
+            / "benchmarks" / "baselines" / name
+        medians = load_medians(str(baseline))
+        assert medians
+        assert all(value > 0 for value in medians.values())
