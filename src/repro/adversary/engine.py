@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.adversary.base import Adversary, RoundObservation, RoundPlan, RunBinding
 from repro.byzantine.base import AttackContext, ServerAttack, WorkerAttack
+from repro.obs.tracer import get_tracer
 
 #: callable returning the honest worker ids expected to publish at a step
 ExpectedPublishers = Callable[[int], Sequence[str]]
@@ -118,6 +119,18 @@ class AdversaryCoordinator:
         self._plans[step] = plan
         self._board.pop(step, None)
         self._prune()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Observability only: which controlled nodes act this round and
+            # how (explicit payload / silence / scaled-honest fallback).
+            explicit = sorted(node_id for node_id, payload
+                              in plan.payloads.items() if payload is not None)
+            silenced = sorted(node_id for node_id, payload
+                              in plan.payloads.items() if payload is None)
+            tracer.event("adversary.plan", step=step,
+                         adversary=type(self.adversary).__name__,
+                         explicit_payloads=explicit, silenced=silenced,
+                         fallback_scale=plan.fallback_scale)
 
     def _prune(self, activity_step: Optional[int] = None) -> None:
         """Drop plans/board entries no controlled worker can still need.

@@ -28,6 +28,7 @@ from repro.aggregation.krum import (
     pairwise_squared_distances_batched,
 )
 from repro.aggregation.bulyan import Bulyan
+from repro.aggregation.decision import GarDecision, attacker_acceptance_rate, decide
 from repro.aggregation.geometric_median import GeometricMedian
 from repro.aggregation.registry import available_rules, get_rule, register_rule
 from repro.aggregation.resilience import (
@@ -50,6 +51,9 @@ __all__ = [
     "krum_scores_batched",
     "pairwise_squared_distances_batched",
     "Bulyan",
+    "GarDecision",
+    "decide",
+    "attacker_acceptance_rate",
     "GeometricMedian",
     "get_rule",
     "register_rule",

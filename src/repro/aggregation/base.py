@@ -140,5 +140,26 @@ class GradientAggregationRule:
             )
         return self._aggregate_batched(stacked)
 
+    # ------------------------------------------------------------------ #
+    # Decision provenance (observability only — see aggregation.decision)
+    # ------------------------------------------------------------------ #
+    def selected_input_indices(self, stacked: np.ndarray):
+        """Indices of the inputs that contribute to the output.
+
+        ``None`` (the default) means "all of them" — appropriate for rules
+        like the mean or coordinate-wise median where no input is formally
+        discarded.  Selection-based rules (Krum family, Bulyan) override
+        this; it exists purely for decision records and must never be used
+        on the training path.
+        """
+        return None
+
+    def input_scores(self, stacked: np.ndarray):
+        """Per-input scores when the rule computes any (lower = better).
+
+        ``None`` (the default) for score-free rules.  Observability only.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(num_byzantine={self.num_byzantine})"

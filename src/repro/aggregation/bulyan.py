@@ -67,6 +67,11 @@ class Bulyan(GradientAggregationRule):
         chosen = stacked[self._select(stacked)]
         return self._trimmed_coordinate_mean(chosen, self._beta(chosen.shape[0]))
 
+    def selected_input_indices(self, stacked: np.ndarray):
+        if self.num_byzantine == 0:
+            return None  # degenerates to the mean: every input contributes
+        return np.array(sorted(self._select(np.asarray(stacked, dtype=np.float64))))
+
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
         f = self.num_byzantine
         if f == 0:

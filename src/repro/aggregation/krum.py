@@ -109,6 +109,13 @@ class Krum(GradientAggregationRule):
         scores = krum_scores(np.asarray(stacked, dtype=np.float64), self.num_byzantine)
         return int(np.argmin(scores))
 
+    def selected_input_indices(self, stacked: np.ndarray) -> np.ndarray:
+        return np.array([self.select(stacked)])
+
+    def input_scores(self, stacked: np.ndarray) -> np.ndarray:
+        return krum_scores(np.asarray(stacked, dtype=np.float64),
+                           self.num_byzantine)
+
 
 class MultiKrum(GradientAggregationRule):
     """Multi-Krum ``F``: mean of the ``n − f − 2`` smallest-scoring inputs.
@@ -150,6 +157,13 @@ class MultiKrum(GradientAggregationRule):
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         indices = self.selected_indices(stacked)
         return stacked[indices].mean(axis=0)
+
+    def selected_input_indices(self, stacked: np.ndarray) -> np.ndarray:
+        return self.selected_indices(stacked)
+
+    def input_scores(self, stacked: np.ndarray) -> np.ndarray:
+        return krum_scores(np.asarray(stacked, dtype=np.float64),
+                           self.num_byzantine)
 
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
         scores = krum_scores_batched(stacked, self.num_byzantine)

@@ -30,6 +30,7 @@ engine responds to either by falling back to sequential execution, so
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -52,7 +53,8 @@ from repro.data.loader import DataLoader, partition_dataset
 from repro.faults import FaultController
 from repro.hetero import DEFAULT_PROFILE
 from repro.metrics.accuracy import evaluate_accuracy
-from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.tracer import get_tracer
 from repro.network.message import MessageKind
 
 
@@ -512,6 +514,9 @@ class BatchedGuanYuTrainer:
         d = self.billed_parameters
         serialization = self._serialization
         replicas = self.num_replicas
+        tracer = get_tracer()
+        trace_on = tracer.enabled
+        mark = time.perf_counter() if trace_on else 0.0
 
         if self.has_faults:
             for lane in self.lanes:
@@ -552,6 +557,11 @@ class BatchedGuanYuTrainer:
                     step_index, send_time)
                 buffer1.add_broadcast(s_index, self.theta[s_index],
                                       delivered, times)
+        if trace_on:
+            now = time.perf_counter()
+            tracer.record_span("batch.step.broadcast", mark, now,
+                               step=step_index, replicas=replicas)
+            mark = now
 
         gradient_stack: Dict[int, np.ndarray] = {}
         loss_stack: Dict[int, np.ndarray] = {}
@@ -604,6 +614,11 @@ class BatchedGuanYuTrainer:
                 + cost.gradient_time(batch_sizes[w_index], d))
             self.worker_clock[w_index] = completion + compute_time
 
+        if trace_on:
+            now = time.perf_counter()
+            tracer.record_span("batch.step.compute", mark, now,
+                               step=step_index, replicas=replicas)
+            mark = now
         alive_correct_worker_idx = [
             index for index in active_worker_indices
             if self.worker_ids[index] not in self.attacking_workers]
@@ -652,6 +667,11 @@ class BatchedGuanYuTrainer:
                     MessageKind.GRADIENT_TO_SERVER, step_index, send_time)
                 buffer2.add_broadcast(w_index, gradient_stack[w_index],
                                       delivered, times)
+        if trace_on:
+            now = time.perf_counter()
+            tracer.record_span("batch.step.gather", mark, now,
+                               step=step_index, replicas=replicas)
+            mark = now
 
         active_correct_server_idx = [
             index for index in alive_correct_idx
@@ -670,6 +690,11 @@ class BatchedGuanYuTrainer:
             self.server_clock[s_index] = completion + compute_time
         phase2_end = self._mean_over_nodes(self.server_clock,
                                            alive_correct_idx)
+        if trace_on:
+            now = time.perf_counter()
+            tracer.record_span("batch.step.aggregate", mark, now,
+                               step=step_index, replicas=replicas)
+            mark = now
 
         # ------------------------- Phase 3 ------------------------------ #
         buffer3 = _PhaseBuffer(len(self.server_ids), len(self.server_ids),
@@ -703,6 +728,9 @@ class BatchedGuanYuTrainer:
                 + cost.median_time(config.model_quorum, d)
         phase3_end = self._mean_over_nodes(self.server_clock,
                                            alive_correct_idx)
+        if trace_on:
+            tracer.record_span("batch.step.apply", mark, time.perf_counter(),
+                               step=step_index, replicas=replicas)
 
         # ------------------------- Records ------------------------------ #
         simulated_time = self.server_clock[alive_correct_idx].max(axis=0)

@@ -22,26 +22,20 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
 from typing import Dict, Optional
 
-
-def _time_scenario(spec) -> float:
-    from repro.campaign.engine import execute_scenario
-
-    started = time.perf_counter()
-    execute_scenario(spec)
-    return time.perf_counter() - started
+from repro.benchtools.util import best_of, machine_metadata
 
 
 def run_benchmark(steps: int = 30, repeats: int = 1) -> Dict:
     """Time honest / legacy / adversary variants; returns the report dict.
 
-    ``repeats > 1`` keeps the best run per variant (the usual defence
-    against noisy-neighbour intervals on shared CI runners).
+    ``repeats > 1`` keeps the best run per variant (see
+    :func:`repro.benchtools.util.best_of`) — the usual defence against
+    noisy-neighbour intervals on shared CI runners.
     """
+    from repro.campaign.engine import execute_scenario
     from repro.campaign.spec import ScenarioSpec
 
     repeats = max(repeats, 1)
@@ -53,19 +47,18 @@ def run_benchmark(steps: int = 30, repeats: int = 1) -> Dict:
         "adversary_omniscient": {
             "adversary": {"name": "omniscient_descent"}},
     }
-    seconds: Dict[str, float] = {name: float("inf") for name in variants}
-    for _ in range(repeats):
-        for name, fields in variants.items():
-            spec = ScenarioSpec(name=name, num_steps=steps, **fields)
-            seconds[name] = min(seconds[name], _time_scenario(spec))
+    seconds: Dict[str, float] = {}
+    for name, fields in variants.items():
+        spec = ScenarioSpec(name=name, num_steps=steps, **fields)
+        seconds[name], _ = best_of(repeats,
+                                   lambda spec=spec: execute_scenario(spec))
 
     honest = seconds["honest"]
     report = {
         "benchmark": "adversary_overhead",
         "steps": steps,
         "repeats": repeats,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "machine": machine_metadata(),
         "variants": {
             name: {
                 "seconds": value,

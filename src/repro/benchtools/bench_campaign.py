@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
 from typing import Dict, List, Optional
+
+from repro.benchtools.util import best_of, machine_metadata
 
 
 def run_benchmark(replicas: int = 16, steps: int = 60,
@@ -28,9 +28,9 @@ def run_benchmark(replicas: int = 16, steps: int = 60,
     """Time the batched vs sequential seed sweep; returns the report dict.
 
     ``repeats > 1`` times each side that many times and keeps the **best**
-    run per side — the standard defence against noisy-neighbour intervals
-    on shared CI runners, where a single unlucky timing would otherwise
-    trip the ``--min-speedup`` gate with no code change.
+    run per side (see :func:`repro.benchtools.util.best_of`), so a single
+    unlucky timing on a shared CI runner cannot trip the ``--min-speedup``
+    gate with no code change.
     """
     from repro.batch import run_batched_scenarios
     from repro.campaign.engine import execute_scenario
@@ -40,18 +40,10 @@ def run_benchmark(replicas: int = 16, steps: int = 60,
     specs = [ScenarioSpec(name=f"seed={seed}", seed=seed, num_steps=steps)
              for seed in range(replicas)]
 
-    batched_seconds = sequential_seconds = float("inf")
-    batched = sequential = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        batched = run_batched_scenarios(specs)
-        batched_seconds = min(batched_seconds,
-                              time.perf_counter() - started)
-
-        started = time.perf_counter()
-        sequential = [execute_scenario(spec) for spec in specs]
-        sequential_seconds = min(sequential_seconds,
-                                 time.perf_counter() - started)
+    batched_seconds, batched = best_of(
+        repeats, lambda: run_batched_scenarios(specs))
+    sequential_seconds, sequential = best_of(
+        repeats, lambda: [execute_scenario(spec) for spec in specs])
 
     bit_identical = all(
         batched_history.to_dict() == sequential_history.to_dict()
@@ -71,8 +63,7 @@ def run_benchmark(replicas: int = 16, steps: int = 60,
         "sequential_seconds_per_replica": sequential_seconds / replicas,
         "batched_seconds_per_replica": batched_seconds / replicas,
         "bit_identical": bit_identical,
-        "machine": {"python": platform.python_version(),
-                    "platform": platform.platform()},
+        "machine": machine_metadata(),
     }
 
 

@@ -91,6 +91,72 @@ def _adversary_medians(path: str, payload: Dict) -> Dict[str, float]:
     return medians
 
 
+def load_trace_summary(path: str) -> Optional[Dict]:
+    """Load a trace summary for regression attribution.
+
+    Accepts either a compact summary JSON (a dict with a ``"spans"`` key,
+    as produced by :meth:`repro.obs.Tracer.summary` and persisted next to
+    store entries) or a raw trace JSONL file, which is aggregated here.
+    Returns ``None`` when the file is unusable — attribution is best-effort
+    decoration, never a comparison failure.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return None
+    try:
+        payload = json.loads(text)
+        if isinstance(payload, dict) and "spans" in payload:
+            return payload
+        # Any other whole-file JSON (including a one-line JSONL trace,
+        # which parses as a single object): try the JSONL path below.
+    except json.JSONDecodeError:
+        pass
+    spans: Dict[str, Dict[str, float]] = {}
+
+    def bucket(name: str) -> Dict[str, float]:
+        return spans.setdefault(name, {"count": 0, "total_s": 0.0})
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if record.get("kind") == "span" and record.get("dur") is not None:
+            entry = bucket(record["name"])
+            entry["count"] += 1
+            entry["total_s"] += float(record["dur"])
+            continue
+        # Pool-run campaign traces carry no raw spans — per-scenario
+        # summaries are embedded in campaign events instead.
+        embedded = (record.get("attrs") or {}).get("trace_summary")
+        if isinstance(embedded, dict):
+            for name, stats in (embedded.get("spans") or {}).items():
+                entry = bucket(name)
+                entry["count"] += int(stats.get("count", 0))
+                entry["total_s"] += float(stats.get("total_s", 0.0))
+    return {"spans": spans} if spans else None
+
+
+def dominant_phase(summary: Optional[Dict]) -> Optional[str]:
+    """Human-readable dominant span of a trace summary, or ``None``."""
+    if not summary:
+        return None
+    spans = summary.get("spans") or {}
+    if not spans:
+        return None
+    name = max(spans, key=lambda span: spans[span].get("total_s", 0.0))
+    total = sum(bucket.get("total_s", 0.0) for bucket in spans.values())
+    if total <= 0:
+        return None
+    share = spans[name]["total_s"] / total
+    return f"{name} ({share:.0%} of traced time)"
+
+
 def compare_benchmarks(current: Dict[str, float], baseline: Dict[str, float],
                        threshold: float = 1.30
                        ) -> Tuple[List[Dict], List[str]]:
@@ -150,6 +216,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("baseline", help="committed baseline JSON")
     parser.add_argument("--threshold", type=float, default=1.30,
                         help="failure ratio (default 1.30 = +30%% median)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="optional trace JSONL (or summary JSON) of the "
+                             "current run; regressions are annotated with "
+                             "its dominant phase")
     args = parser.parse_args(argv)
 
     try:
@@ -166,9 +236,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     for row in rows:
         print(_format_row(row))
     if failures:
+        phase = dominant_phase(load_trace_summary(args.trace)) \
+            if args.trace else None
         print(f"\nbench-compare: {len(failures)} regression(s):",
               file=sys.stderr)
         for failure in failures:
+            if phase is not None:
+                failure = f"{failure} [dominant phase: {phase}]"
             print(f"  {failure}", file=sys.stderr)
         return 1
     print("bench-compare: ok")

@@ -1,0 +1,66 @@
+"""Shared benchmarking utilities: monotonic timing and run metadata.
+
+Every benchmark in :mod:`repro.benchtools` used to carry its own copy of
+the best-of-N ``perf_counter`` timing loop and an ad-hoc machine snippet;
+they are centralised here so that all bench JSON artifacts time the same
+way (monotonic clock, best run wins) and carry a comparable
+``host``/``python``/``commit`` metadata block.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+from typing import Any, Callable, Dict, Tuple, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["best_of", "machine_metadata"]
+
+
+def best_of(repeats: int, fn: Callable[[], T]) -> Tuple[float, T]:
+    """Run ``fn`` ``repeats`` times; return ``(best_seconds, last_result)``.
+
+    Best-of-N with :func:`time.perf_counter` is the standard defence
+    against noisy-neighbour intervals on shared CI runners — a single
+    unlucky timing cannot trip a regression gate with no code change.  The
+    *last* result is returned (all repeats compute the same thing).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best = float("inf")
+    result: T = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _commit_hash() -> str:
+    """Current commit: ``GITHUB_SHA`` on CI, ``git rev-parse`` locally."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=5,
+                              check=False)
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def machine_metadata() -> Dict[str, Any]:
+    """The ``host``/``python``/``commit`` block shared by bench artifacts."""
+    return {
+        "host": platform.node() or "unknown",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "commit": _commit_hash(),
+    }

@@ -34,7 +34,8 @@ from repro.core.trainer import (
     SingleServerKrumTrainer,
     VanillaTrainer,
 )
-from repro.metrics.tracker import TrainingHistory
+from repro.obs.history import TrainingHistory
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.runtime.threads import ThreadedClusterRuntime
 
 #: callback signature: ``progress(outcome, completed_count, total_count)``
@@ -182,18 +183,42 @@ def execute_scenario(spec: ScenarioSpec) -> TrainingHistory:
 
 
 def _run_payload(payload: Dict) -> Dict:
-    """Pool-friendly wrapper: dict spec in, dict outcome out, never raises."""
+    """Pool-friendly wrapper: dict spec in, dict outcome out, never raises.
+
+    Every scenario executes under a scenario-local :class:`Tracer` whose
+    compact :meth:`~Tracer.summary` travels back in the outcome dict (it
+    must cross a pool boundary, so raw events stay local).  When an outer
+    tracer is active — serial in-process execution under ``repro --trace``
+    — the raw events are forwarded to it as well.
+    """
     started = time.perf_counter()
+    outer = get_tracer()
+    local = Tracer(capacity=50_000,
+                   record_decisions=getattr(outer, "record_decisions", False))
     try:
-        history = execute_scenario(ScenarioSpec.from_dict(payload))
+        with use_tracer(local):
+            history = execute_scenario(ScenarioSpec.from_dict(payload))
+        _forward_trace(outer, local)
         return {"status": "ran", "history": history.to_dict(), "error": None,
                 "traceback": None,
-                "duration": time.perf_counter() - started}
+                "duration": time.perf_counter() - started,
+                "trace_summary": local.summary()}
     except Exception as exc:  # noqa: BLE001 - per-scenario failure isolation
+        _forward_trace(outer, local)
         return {"status": "failed", "history": None,
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
-                "duration": time.perf_counter() - started}
+                "duration": time.perf_counter() - started,
+                "trace_summary": local.summary()}
+
+
+def _forward_trace(outer, local: Tracer) -> None:
+    """Copy a scenario-local trace into the outer tracer, if one is active."""
+    if not outer.enabled:
+        return
+    outer.extend(local.events())
+    for counter_name, value in local.counters().items():
+        outer.count(counter_name, value)
 
 
 def _run_batched_payloads(payloads: List[Dict]) -> List[Dict]:
@@ -206,14 +231,22 @@ def _run_batched_payloads(payloads: List[Dict]) -> List[Dict]:
     bit-identical where it runs at all, so the fallback only costs time).
     """
     started = time.perf_counter()
+    outer = get_tracer()
+    local = Tracer(capacity=50_000)
     try:
-        histories = run_batched_scenarios(
-            [ScenarioSpec.from_dict(payload) for payload in payloads])
+        with use_tracer(local):
+            histories = run_batched_scenarios(
+                [ScenarioSpec.from_dict(payload) for payload in payloads])
     except Exception:  # noqa: BLE001 - fall back to per-scenario isolation
         return [_run_payload(payload) for payload in payloads]
+    _forward_trace(outer, local)
     duration = (time.perf_counter() - started) / max(len(payloads), 1)
+    # The group ran as one vectorised execution: every member carries the
+    # same (shared) trace summary.
+    summary = local.summary()
     return [{"status": "ran", "history": history.to_dict(), "error": None,
-             "traceback": None, "duration": duration, "batched": True}
+             "traceback": None, "duration": duration, "batched": True,
+             "trace_summary": summary}
             for history in histories]
 
 
@@ -280,6 +313,8 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
     total = len(scenarios)
     completed = 0
     outcomes: Dict[str, ScenarioOutcome] = {}
+    tracer = get_tracer()
+    campaign_started = time.perf_counter()
 
     def finish(outcome: ScenarioOutcome) -> None:
         nonlocal completed
@@ -298,14 +333,17 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
             # The hash excludes the name, so the cache may have been filled
             # under a different label — relabel for this campaign's view.
             stored.history.label = spec.name
+            tracer.count("campaign.cache_hit")
             finish(ScenarioOutcome(spec=spec, status="cached",
                                    history=stored.history, store_key=key,
                                    duration_seconds=0.0))
         else:
+            tracer.count("campaign.cache_miss")
             pending_specs.setdefault(key, []).append(spec)
     pending = [(specs[0], key) for key, specs in pending_specs.items()]
 
-    def finish_payload(spec: ScenarioSpec, key: str, payload: Dict) -> None:
+    def finish_payload(spec: ScenarioSpec, key: str, payload: Dict,
+                       pooled: bool = False) -> None:
         history = (TrainingHistory.from_dict(payload["history"])
                    if payload["history"] is not None else None)
         outcome = ScenarioOutcome(spec=spec, status=payload["status"],
@@ -313,9 +351,31 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                                   traceback=payload.get("traceback"),
                                   duration_seconds=payload["duration"],
                                   batched=payload.get("batched", False))
+        if tracer.enabled:
+            # Queue wait ≈ time since dispatch not spent executing: exact
+            # for serial runs, an upper bound under a busy pool.
+            elapsed = time.perf_counter() - campaign_started
+            attrs = {"scenario": spec.name, "status": outcome.status,
+                     "batched": outcome.batched,
+                     "duration_s": outcome.duration_seconds,
+                     "queue_wait_s": max(
+                         elapsed - outcome.duration_seconds, 0.0)}
+            if pooled:
+                # The raw per-step spans never cross the pool boundary, so
+                # the scenario's compact trace summary rides along in the
+                # event — it is what lets `repro report` still produce a
+                # phase breakdown.  Serial runs forward the raw events
+                # instead (embedding the summary too would double-count).
+                attrs["trace_summary"] = payload.get("trace_summary")
+            tracer.event("campaign.scenario", **attrs)
+            tracer.count("campaign.scenario_seconds",
+                         outcome.duration_seconds)
         if store is not None and outcome.status == "ran":
+            trace_summary = payload.get("trace_summary")
             outcome.store_key = store.put(
-                spec, history, duration_seconds=outcome.duration_seconds)
+                spec, history, duration_seconds=outcome.duration_seconds,
+                extra_meta=({"trace_summary": trace_summary}
+                            if trace_summary else None))
         finish(outcome)
         for twin in pending_specs[key][1:]:
             twin_history = None
@@ -361,7 +421,7 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
             for index, payloads in pool.imap_unordered(_run_indexed_task,
                                                        items):
                 for (spec, key), payload in zip(tasks[index][1], payloads):
-                    finish_payload(spec, key, payload)
+                    finish_payload(spec, key, payload, pooled=True)
     else:
         for kind, bucket in tasks:
             if kind == "batch":

@@ -28,7 +28,8 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from repro.campaign.spec import ScenarioSpec
-from repro.metrics.tracker import TrainingHistory
+from repro.obs.history import TrainingHistory
+from repro.obs.tracer import get_tracer
 
 STORE_VERSION = 1
 
@@ -131,6 +132,7 @@ class ResultStore:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         os.replace(temp_name, path)
+        get_tracer().count("store.put")
         return key
 
     def get(self, key: str) -> StoredResult:
@@ -139,6 +141,7 @@ class ResultStore:
             raise KeyError(f"no stored result for key '{key}'")
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
+        get_tracer().count("store.get")
         return StoredResult(
             key=payload["key"],
             spec=ScenarioSpec.from_dict(payload["spec"]),

@@ -20,6 +20,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli resilience --mode partition --heal-steps 20 30 40
     python -m repro.cli breakdown --gars mean median multi_krum
     python -m repro.cli hetero --skews iid dirichlet=1 dirichlet=0.1
+    python -m repro.cli --trace trace.jsonl figure4
+    python -m repro.cli trace trace.jsonl
+    python -m repro.cli report trace.jsonl --width 72
 
 Every subcommand prints the regenerated table/figure as text (and an ASCII
 chart where the paper has a figure); ``--json PATH`` additionally writes the
@@ -35,6 +38,14 @@ studies; ``breakdown`` bisects the empirical breakdown point of each GAR
 under each adversary; ``hetero`` produces the accuracy-vs-skew × GAR ×
 adversary table of the heterogeneity study; ``attacks`` and ``list`` print
 the registries sweep specs draw from.
+
+Observability (see ``docs/observability.md``): the global ``--trace FILE``
+flag records a structured trace of any subcommand (phase spans, GAR
+decision records, campaign cache/queue counters) to a JSONL file without
+perturbing the run; ``trace`` summarises such a file and ``report``
+renders its per-phase breakdown table and ASCII span timeline;
+``--log-level`` / ``--log-json`` configure structured logging for every
+subcommand.
 """
 
 from __future__ import annotations
@@ -76,8 +87,20 @@ from repro.experiments import (
 )
 from repro.faults import FaultSchedule
 from repro import __version__
-from repro.metrics.tracker import TrainingHistory
-from repro.plotting import format_table, histories_summary_table, render_histories
+from repro.obs import (
+    Tracer,
+    TrainingHistory,
+    configure_logging,
+    read_jsonl,
+    use_tracer,
+)
+from repro.plotting import (
+    format_table,
+    histories_summary_table,
+    render_histories,
+    render_phase_breakdown,
+    render_span_timeline,
+)
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -374,16 +397,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if processes is None:
         processes = max(1, min(os.cpu_count() or 1, 8))
 
+    started = time.perf_counter()
+
     def report_progress(outcome, completed, total) -> None:
+        elapsed = time.perf_counter() - started
         line = f"[{completed}/{total}] {outcome.status:<6} {outcome.spec.name}"
         if outcome.status == "ran":
             line += f" ({outcome.duration_seconds:.2f}s"
             line += ", batched)" if outcome.batched else ")"
         elif outcome.status == "failed":
             line += f" — {outcome.error}"
-        print(line)
+        line += f" [+{elapsed:.1f}s]"
+        # Explicit flush: piped into `tee`/CI logs, stdout is block-buffered
+        # and progress would otherwise arrive only at campaign end.
+        print(line, flush=True)
 
-    started = time.perf_counter()
     result = run_campaign(scenarios, name=campaign_name, store=store,
                           processes=processes, progress=report_progress,
                           batch_seeds=args.batch_seeds)
@@ -513,6 +541,68 @@ def cmd_hetero(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Trace / report subcommands (observability layer)
+# --------------------------------------------------------------------------- #
+def _load_trace(path: str) -> list:
+    try:
+        return list(read_jsonl(path))
+    except OSError as exc:
+        raise ValueError(f"cannot read trace file: {exc}") from exc
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarise a trace JSONL file: record counts, counters, event kinds."""
+    records = _load_trace(args.file)
+    spans = [r for r in records if r.kind == "span"]
+    events = [r for r in records if r.kind == "event"]
+    counters: Dict[str, float] = {}
+    for record in records:
+        if record.kind == "counter":
+            value = record.attrs.get("value", 0)
+            counters[record.name] = counters.get(record.name, 0) + value
+    print(f"trace {args.file}: {len(records)} record(s) — "
+          f"{len(spans)} span(s), {len(events)} event(s), "
+          f"{len(counters)} counter(s)")
+
+    print("\nPhase breakdown:")
+    print(render_phase_breakdown(records))
+
+    event_counts: Dict[str, int] = {}
+    for record in events:
+        event_counts[record.name] = event_counts.get(record.name, 0) + 1
+    if event_counts:
+        print("\nEvents:")
+        print(format_table([{"event": name, "count": count}
+                            for name, count
+                            in sorted(event_counts.items())]))
+    if counters:
+        print("\nCounters:")
+        print(format_table([{"counter": name, "value": value}
+                            for name, value in sorted(counters.items())]))
+    _dump_json(args.json, {
+        "records": len(records),
+        "spans": len(spans),
+        "events": event_counts,
+        "counters": counters,
+    })
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a trace's phase-breakdown table and ASCII span timeline."""
+    records = _load_trace(args.file)
+    print(f"report — {args.file}\n")
+    print("Phase breakdown:")
+    print(render_phase_breakdown(records))
+    print("\nSpan timeline:")
+    print(render_span_timeline(records, width=args.width,
+                               max_rows=args.max_rows, node=args.node))
+    _dump_json(args.json, [record.to_dict() for record in records
+                           if record.kind == "span"])
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -531,6 +621,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--servers-count", type=int, default=None,
                         help="override the number of parameter servers")
     parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    parser.add_argument("--log-level",
+                        choices=("debug", "info", "warning", "error"),
+                        default="warning",
+                        help="logging verbosity of the 'repro' loggers "
+                             "(default: warning)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines (for ingestion)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="record a structured trace of the run "
+                             "(spans/events/counters) to this JSONL file; "
+                             "inspect it with 'repro trace' / 'repro report'")
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -681,6 +782,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "vectorised multi-replica execution "
                              "(needs --seeds with >= 2 values)")
     hetero.set_defaults(func=cmd_hetero)
+
+    trace = subparsers.add_parser(
+        "trace", help="summarise a trace JSONL file (--trace output)")
+    trace.add_argument("file", help="trace JSONL file to summarise")
+    trace.set_defaults(func=cmd_trace)
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a trace's phase-breakdown table and span timeline")
+    report.add_argument("file", help="trace JSONL file to render")
+    report.add_argument("--width", type=int, default=64,
+                        help="timeline width in characters (default: 64)")
+    report.add_argument("--max-rows", type=int, default=30,
+                        help="max span names in the timeline (default: 30)")
+    report.add_argument("--node", default=None,
+                        help="restrict the timeline to one node id")
+    report.set_defaults(func=cmd_report)
     return parser
 
 
@@ -693,14 +811,34 @@ def main(argv: Optional[list] = None) -> int:
     Genuine runtime failures (I/O errors, training errors) propagate with
     their traceback and exit 1; per-scenario sweep failures are reported
     by ``cmd_sweep`` itself.
+
+    ``--trace FILE`` installs a :class:`repro.obs.Tracer` (with GAR
+    decision records enabled) around the dispatched subcommand and writes
+    the collected records as JSONL when it finishes — including when it
+    fails, so traces of broken runs survive for post-mortems.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level, json_mode=args.log_json)
+    tracer = Tracer(record_decisions=True) if args.trace else None
     try:
-        return args.func(args)
+        if tracer is None:
+            return args.func(args)
+        with use_tracer(tracer):
+            return args.func(args)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            try:
+                written = tracer.write_jsonl(args.trace)
+            except OSError as exc:
+                print(f"warning: could not write trace to {args.trace}: "
+                      f"{exc}", file=sys.stderr)
+            else:
+                print(f"(wrote {written} trace record(s) to {args.trace})",
+                      file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -32,8 +32,10 @@ from repro.data.datasets import Dataset
 from repro.data.loader import DataLoader, partition_dataset
 from repro.faults import FaultController, FaultSchedule
 from repro.hetero import DEFAULT_PROFILE, HeteroSpec, WorkerProfile
+from repro.aggregation.decision import decide
 from repro.metrics.accuracy import evaluate_accuracy
-from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.tracer import get_tracer
 from repro.network.delays import DelayModel, UniformDelay
 from repro.network.message import MessageKind
 from repro.network.simulator import NetworkSimulator
@@ -421,9 +423,18 @@ class GuanYuTrainer(DistributedTrainer):
         cost = self.cost_model
         d = self.billed_parameters
         serialization = self._serialization()
+        tracer = get_tracer()
         if self.fault_controller is not None:
             self.fault_controller.on_step(step_index)
         active_worker_ids, active_server_ids = self._participants(step_index)
+        if tracer.enabled:
+            stalled = ([w.node_id for w in self.workers
+                        if w.node_id not in active_worker_ids]
+                       + [s.node_id for s in self.servers
+                          if s.node_id not in active_server_ids])
+            if stalled:
+                tracer.event("seq.fault.stalled", step=step_index,
+                             nodes=stalled)
         alive_correct_servers = [s for s in self.correct_servers
                                  if self._alive(s.node_id, step_index)]
         if not alive_correct_servers:
@@ -437,24 +448,26 @@ class GuanYuTrainer(DistributedTrainer):
         # Every participating parameter server broadcasts its model to
         # every worker.
         worker_ids = [worker.node_id for worker in self.workers]
-        for server in self.servers:
-            if server.node_id not in active_server_ids:
-                continue
-            if server.is_byzantine:
-                # The adversary sends (possibly different) corrupted models,
-                # racing honest traffic on its covert channel.
-                for worker_id in worker_ids:
-                    payload = server.outgoing_model(step_index, recipient=worker_id)
-                    self.network.send(server.node_id, worker_id,
-                                      MessageKind.MODEL_TO_WORKER, step_index,
-                                      payload, send_time=phase_start,
-                                      delay_override=0.0)
-            else:
-                send_time = self._server_clock[server.node_id] + serialization
-                self.network.broadcast(server.node_id, worker_ids,
-                                       MessageKind.MODEL_TO_WORKER, step_index,
-                                       server.outgoing_model(step_index),
-                                       send_time=send_time)
+        with tracer.span("seq.step.broadcast", step=step_index):
+            for server in self.servers:
+                if server.node_id not in active_server_ids:
+                    continue
+                if server.is_byzantine:
+                    # The adversary sends (possibly different) corrupted
+                    # models, racing honest traffic on its covert channel.
+                    for worker_id in worker_ids:
+                        payload = server.outgoing_model(step_index,
+                                                        recipient=worker_id)
+                        self.network.send(server.node_id, worker_id,
+                                          MessageKind.MODEL_TO_WORKER, step_index,
+                                          payload, send_time=phase_start,
+                                          delay_override=0.0)
+                else:
+                    send_time = self._server_clock[server.node_id] + serialization
+                    self.network.broadcast(server.node_id, worker_ids,
+                                           MessageKind.MODEL_TO_WORKER, step_index,
+                                           server.outgoing_model(step_index),
+                                           send_time=send_time)
 
         # Every participating worker waits for the first q models,
         # aggregates them with the coordinate-wise median and computes a
@@ -462,17 +475,20 @@ class GuanYuTrainer(DistributedTrainer):
         results: Dict[str, GradientResult] = {}
         alive_workers = [w for w in self.workers
                          if w.node_id in active_worker_ids]
-        for worker in alive_workers:
-            record = self.network.collect_quorum(
-                worker.node_id, MessageKind.MODEL_TO_WORKER, step_index,
-                quorum=config.model_quorum,
-                not_before=self._worker_clock[worker.node_id])
-            result = worker.compute_gradient(record.payloads, step_index)
-            results[worker.node_id] = result
-            compute_time = self._worker_delay_multiplier(worker.node_id) * (
-                cost.median_time(config.model_quorum, d)
-                + cost.gradient_time(result.batch_size, d))
-            self._worker_clock[worker.node_id] = record.completion_time + compute_time
+        with tracer.span("seq.step.compute", step=step_index,
+                         workers=len(alive_workers)):
+            for worker in alive_workers:
+                record = self.network.collect_quorum(
+                    worker.node_id, MessageKind.MODEL_TO_WORKER, step_index,
+                    quorum=config.model_quorum,
+                    not_before=self._worker_clock[worker.node_id])
+                result = worker.compute_gradient(record.payloads, step_index)
+                results[worker.node_id] = result
+                compute_time = self._worker_delay_multiplier(worker.node_id) * (
+                    cost.median_time(config.model_quorum, d)
+                    + cost.gradient_time(result.batch_size, d))
+                self._worker_clock[worker.node_id] = \
+                    record.completion_time + compute_time
 
         alive_correct_workers = [w for w in alive_workers if not w.is_byzantine]
         correct_gradients = [results[w.node_id].gradient
@@ -485,39 +501,60 @@ class GuanYuTrainer(DistributedTrainer):
         # Every participating worker broadcasts its gradient to every
         # parameter server.
         server_ids = [server.node_id for server in self.servers]
-        for worker in alive_workers:
-            result = results[worker.node_id]
-            if worker.is_byzantine:
-                for server_id in server_ids:
-                    payload = worker.outgoing_gradient(
-                        result, step_index, peer_gradients=correct_gradients,
-                        recipient=server_id)
-                    self.network.send(worker.node_id, server_id,
-                                      MessageKind.GRADIENT_TO_SERVER, step_index,
-                                      payload, send_time=phase_start,
-                                      delay_override=0.0)
-            else:
-                send_time = self._worker_clock[worker.node_id] + serialization
-                self.network.broadcast(worker.node_id, server_ids,
-                                       MessageKind.GRADIENT_TO_SERVER, step_index,
-                                       worker.outgoing_gradient(result, step_index),
-                                       send_time=send_time)
+        with tracer.span("seq.step.gather", step=step_index):
+            for worker in alive_workers:
+                result = results[worker.node_id]
+                if worker.is_byzantine:
+                    for server_id in server_ids:
+                        payload = worker.outgoing_gradient(
+                            result, step_index, peer_gradients=correct_gradients,
+                            recipient=server_id)
+                        self.network.send(worker.node_id, server_id,
+                                          MessageKind.GRADIENT_TO_SERVER,
+                                          step_index, payload,
+                                          send_time=phase_start,
+                                          delay_override=0.0)
+                else:
+                    send_time = self._worker_clock[worker.node_id] + serialization
+                    self.network.broadcast(worker.node_id, server_ids,
+                                           MessageKind.GRADIENT_TO_SERVER,
+                                           step_index,
+                                           worker.outgoing_gradient(result,
+                                                                    step_index),
+                                           send_time=send_time)
 
         # Every participating correct server waits for the first q̄
         # gradients, aggregates them with Multi-Krum and applies the local
         # SGD update.
         active_servers = [s for s in alive_correct_servers
                           if s.node_id in active_server_ids]
-        for server in active_servers:
-            record = self.network.collect_quorum(
-                server.node_id, MessageKind.GRADIENT_TO_SERVER, step_index,
-                quorum=config.gradient_quorum,
-                not_before=self._server_clock[server.node_id])
-            server.apply_gradients(record.payloads, step_index)
-            compute_time = (cost.aggregation_time(self.gradient_rule_name,
-                                                  config.gradient_quorum, d)
-                            + cost.update_time(d))
-            self._server_clock[server.node_id] = record.completion_time + compute_time
+        byzantine_worker_ids = {w.node_id for w in self.workers
+                                if w.is_byzantine}
+        with tracer.span("seq.step.aggregate", step=step_index,
+                         servers=len(active_servers)):
+            for server in active_servers:
+                record = self.network.collect_quorum(
+                    server.node_id, MessageKind.GRADIENT_TO_SERVER, step_index,
+                    quorum=config.gradient_quorum,
+                    not_before=self._server_clock[server.node_id])
+                if tracer.enabled and tracer.record_decisions:
+                    # Decision provenance is derived on the side from the
+                    # same payloads the server aggregates; nothing below
+                    # feeds back into the update.
+                    attacker_positions = [
+                        i for i, sender in enumerate(record.senders)
+                        if sender in byzantine_worker_ids]
+                    decision = decide(server.gradient_aggregator,
+                                      record.payloads,
+                                      attacker_indices=attacker_positions)
+                    tracer.event("seq.gar.decision", step=step_index,
+                                 node=server.node_id, **decision.to_dict())
+                server.apply_gradients(record.payloads, step_index)
+                compute_time = (cost.aggregation_time(self.gradient_rule_name,
+                                                      config.gradient_quorum, d)
+                                + cost.update_time(d))
+                self._server_clock[server.node_id] = \
+                    record.completion_time + compute_time
         phase2_end = float(np.mean([self._server_clock[s.node_id]
                                     for s in alive_correct_servers]))
 
@@ -525,35 +562,39 @@ class GuanYuTrainer(DistributedTrainer):
         # Every live parameter server broadcasts its updated model to the
         # others and installs the coordinate-wise median of the first q
         # received.
-        for server in self.servers:
-            if server.node_id not in active_server_ids:
-                continue
-            if server.is_byzantine:
-                for server_id in server_ids:
-                    payload = server.outgoing_model(step_index, recipient=server_id)
-                    self.network.send(server.node_id, server_id,
-                                      MessageKind.MODEL_TO_SERVER, step_index,
-                                      payload, send_time=phase_start,
-                                      delay_override=0.0)
-            else:
-                send_time = self._server_clock[server.node_id] + serialization
-                payload = server.outgoing_model(step_index)
-                for server_id in server_ids:
-                    # A server's own model is available to it immediately.
-                    delay_override = 0.0 if server_id == server.node_id else None
-                    self.network.send(server.node_id, server_id,
-                                      MessageKind.MODEL_TO_SERVER, step_index,
-                                      payload, send_time=send_time,
-                                      delay_override=delay_override)
+        with tracer.span("seq.step.apply", step=step_index):
+            for server in self.servers:
+                if server.node_id not in active_server_ids:
+                    continue
+                if server.is_byzantine:
+                    for server_id in server_ids:
+                        payload = server.outgoing_model(step_index,
+                                                        recipient=server_id)
+                        self.network.send(server.node_id, server_id,
+                                          MessageKind.MODEL_TO_SERVER, step_index,
+                                          payload, send_time=phase_start,
+                                          delay_override=0.0)
+                else:
+                    send_time = self._server_clock[server.node_id] + serialization
+                    payload = server.outgoing_model(step_index)
+                    for server_id in server_ids:
+                        # A server's own model is available to it immediately.
+                        delay_override = 0.0 if server_id == server.node_id \
+                            else None
+                        self.network.send(server.node_id, server_id,
+                                          MessageKind.MODEL_TO_SERVER, step_index,
+                                          payload, send_time=send_time,
+                                          delay_override=delay_override)
 
-        for server in active_servers:
-            record = self.network.collect_quorum(
-                server.node_id, MessageKind.MODEL_TO_SERVER, step_index,
-                quorum=config.model_quorum,
-                not_before=self._server_clock[server.node_id])
-            server.merge_models(record.payloads)
-            compute_time = cost.median_time(config.model_quorum, d)
-            self._server_clock[server.node_id] = record.completion_time + compute_time
+            for server in active_servers:
+                record = self.network.collect_quorum(
+                    server.node_id, MessageKind.MODEL_TO_SERVER, step_index,
+                    quorum=config.model_quorum,
+                    not_before=self._server_clock[server.node_id])
+                server.merge_models(record.payloads)
+                compute_time = cost.median_time(config.model_quorum, d)
+                self._server_clock[server.node_id] = \
+                    record.completion_time + compute_time
 
         # Drop anything left over from this step (late messages are discarded).
         self.network.purge_step(step_index)

@@ -1,12 +1,18 @@
-"""Metrics: accuracy, loss tracking, throughput and experiment records."""
+"""Metrics: accuracy, loss tracking, throughput and experiment records.
+
+The per-step record types (:class:`StepRecord`, :class:`TrainingHistory`)
+now live in :mod:`repro.obs.history`; they are re-exported here so the
+historical ``repro.metrics`` import path keeps working.
+"""
 
 from repro.metrics.accuracy import evaluate_accuracy, evaluate_loss
-from repro.metrics.tracker import StepRecord, TrainingHistory
 from repro.metrics.throughput import (
+    measure_wall_clock,
     overhead_percent,
     throughput_updates_per_second,
     time_to_accuracy,
 )
+from repro.obs.history import StepRecord, TrainingHistory
 
 __all__ = [
     "evaluate_accuracy",
@@ -16,4 +22,5 @@ __all__ = [
     "throughput_updates_per_second",
     "time_to_accuracy",
     "overhead_percent",
+    "measure_wall_clock",
 ]

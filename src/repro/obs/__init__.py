@@ -1,0 +1,36 @@
+"""Observability: structured tracing, training histories, logging.
+
+This package answers "what happened during a run" at three granularities:
+
+* :mod:`repro.obs.tracer` — spans/events/counters on the **real** clock
+  (``time.perf_counter``), with a hard zero-perturbation guarantee so the
+  cross-runtime equivalence invariants survive tracing;
+* :mod:`repro.obs.history` — the per-step :class:`TrainingHistory` on the
+  **simulated** clock (moved here from ``repro.metrics.tracker``);
+* :mod:`repro.obs.logging` — structured logging config for the CLI.
+"""
+
+from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.logging import configure_logging
+from repro.obs.tracer import (
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "StepRecord",
+    "TrainingHistory",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "read_jsonl",
+    "configure_logging",
+]

@@ -1,0 +1,63 @@
+"""Structured logging configuration shared by every CLI subcommand.
+
+``repro --log-level debug ...`` routes all ``repro.*`` loggers through one
+stderr handler; ``--log-level debug --json`` (or ``json_mode=True``) swaps
+the human format for one-JSON-object-per-line, machine-parseable alongside
+trace JSONL files.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["configure_logging", "JsonLogFormatter"]
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "error": logging.ERROR}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each log record as a single JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+def configure_logging(level: str = "warning", *, json_mode: bool = False,
+                      stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy and return its root.
+
+    Idempotent: a prior handler installed by this function is replaced, so
+    repeated CLI invocations in one process (tests) don't stack handlers.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; "
+                         f"choose from {sorted(_LEVELS)}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(_LEVELS[level])
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_mode:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        formatter.converter = time.gmtime
+        handler.setFormatter(formatter)
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_cli_handler", False):
+            logger.removeHandler(existing)
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -8,6 +8,11 @@ directly in a terminal or a CI log.
 
 from repro.plotting.ascii import AsciiChart, render_histories, sparkline
 from repro.plotting.tables import format_table, histories_summary_table
+from repro.plotting.timeline import (
+    phase_breakdown_rows,
+    render_phase_breakdown,
+    render_span_timeline,
+)
 
 __all__ = [
     "AsciiChart",
@@ -15,4 +20,7 @@ __all__ = [
     "render_histories",
     "format_table",
     "histories_summary_table",
+    "phase_breakdown_rows",
+    "render_phase_breakdown",
+    "render_span_timeline",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.metrics.tracker import TrainingHistory
+from repro.obs.history import TrainingHistory
 from repro.metrics.throughput import (
     throughput_updates_per_second,
     time_to_accuracy,

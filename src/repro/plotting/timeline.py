@@ -1,0 +1,125 @@
+"""ASCII rendering of trace spans: phase tables and span timelines.
+
+Consumes :class:`repro.obs.TraceEvent` records (or their dict form from a
+JSONL file) and renders them in the same terminal-friendly style as the
+rest of :mod:`repro.plotting` — the backend of the ``repro trace`` and
+``repro report`` subcommands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.tracer import TraceEvent
+from repro.plotting.tables import format_table
+
+__all__ = ["phase_breakdown_rows", "render_phase_breakdown",
+           "render_span_timeline"]
+
+
+def _spans(records: Sequence[TraceEvent]) -> List[TraceEvent]:
+    return [record for record in records
+            if record.kind == "span" and record.dur is not None]
+
+
+def phase_breakdown_rows(records: Sequence[TraceEvent]) -> List[Dict]:
+    """Aggregate spans by name into table rows sorted by total time.
+
+    Rows also fold in ``campaign.scenario`` events' embedded
+    ``trace_summary`` attributes when present, so a sweep trace whose
+    per-step spans ran in pool subprocesses (only summaries travel back)
+    still yields a full phase breakdown.
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+
+    def bucket(name: str) -> Dict[str, float]:
+        return totals.setdefault(name, {"count": 0, "total_s": 0.0})
+
+    for record in _spans(records):
+        entry = bucket(record.name)
+        entry["count"] += 1
+        entry["total_s"] += record.dur
+    for record in records:
+        if record.kind != "event":
+            continue
+        summary = record.attrs.get("trace_summary")
+        if not isinstance(summary, dict):
+            continue
+        for name, stats in (summary.get("spans") or {}).items():
+            entry = bucket(name)
+            entry["count"] += int(stats.get("count", 0))
+            entry["total_s"] += float(stats.get("total_s", 0.0))
+
+    grand_total = sum(entry["total_s"] for entry in totals.values())
+    rows = []
+    for name in sorted(totals, key=lambda key: -totals[key]["total_s"]):
+        entry = totals[name]
+        count = int(entry["count"])
+        rows.append({
+            "phase": name,
+            "count": count,
+            "total_s": entry["total_s"],
+            "mean_ms": (entry["total_s"] / count * 1000.0) if count else 0.0,
+            "share": (entry["total_s"] / grand_total
+                      if grand_total > 0 else 0.0),
+        })
+    return rows
+
+
+def render_phase_breakdown(records: Sequence[TraceEvent]) -> str:
+    """Aligned per-phase table: count, total seconds, mean ms, share."""
+    rows = phase_breakdown_rows(records)
+    if not rows:
+        return "(no spans in trace)"
+    for row in rows:
+        row["share"] = f"{row['share']:.1%}"
+    return format_table(rows, columns=["phase", "count", "total_s",
+                                       "mean_ms", "share"],
+                        float_format="{:.4f}")
+
+
+def render_span_timeline(records: Sequence[TraceEvent], width: int = 64,
+                         max_rows: int = 30,
+                         node: Optional[str] = None) -> str:
+    """One row per span name, painted across a common time axis.
+
+    Each row shows where that span's occurrences fall between the first
+    span start and the last span end in the trace (``█`` = active).  With
+    many distinct names only the ``max_rows`` largest-by-total-time rows
+    are kept, and a trailing note says how many were elided.
+    """
+    spans = _spans(records)
+    if node is not None:
+        spans = [span for span in spans if span.node == node]
+    if not spans:
+        return "(no spans in trace)"
+
+    start = min(span.ts for span in spans)
+    end = max(span.ts + span.dur for span in spans)
+    extent = max(end - start, 1e-12)
+
+    by_name: Dict[str, List[TraceEvent]] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span)
+    ordered = sorted(by_name,
+                     key=lambda name: -sum(s.dur for s in by_name[name]))
+    elided = max(len(ordered) - max_rows, 0)
+    ordered = ordered[:max_rows]
+
+    label_width = max(len(name) for name in ordered)
+    lines = [f"timeline: {extent:.4f}s across {len(spans)} span(s)"
+             + (f" on {node}" if node else "")]
+    for name in ordered:
+        cells = [" "] * width
+        for span in by_name[name]:
+            first = int((span.ts - start) / extent * (width - 1))
+            last = int((span.ts + span.dur - start) / extent * (width - 1))
+            for index in range(first, last + 1):
+                cells[index] = "█"
+        total = sum(span.dur for span in by_name[name])
+        lines.append(f"{name.ljust(label_width)} |{''.join(cells)}| "
+                     f"{total:.4f}s")
+    if elided:
+        lines.append(f"... {elided} more span name(s) elided "
+                     f"(raise max_rows to see them)")
+    return "\n".join(lines)

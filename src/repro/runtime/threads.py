@@ -32,7 +32,8 @@ from repro.data.loader import DataLoader, partition_dataset
 from repro.faults import FaultController, FaultSchedule
 from repro.hetero import DEFAULT_PROFILE, HeteroSpec
 from repro.aggregation import get_rule
-from repro.metrics.tracker import StepRecord, TrainingHistory
+from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.tracer import get_tracer
 from repro.network.message import Message, MessageKind
 from repro.nn.module import Module
 from repro.nn.schedules import ConstantSchedule, LearningRateSchedule
@@ -405,13 +406,19 @@ class ThreadedClusterRuntime:
 
     def _worker_loop(self, worker: WorkerNode, num_steps: int) -> None:
         server_ids = self.config.server_ids()
+        tracer = get_tracer()
         for step in range(num_steps):
             if self._sits_out(worker.node_id, step):
                 continue
-            models = self.transport.wait_quorum(
-                worker.node_id, MessageKind.MODEL_TO_WORKER, step,
-                quorum=self.config.model_quorum, timeout=self.quorum_timeout)
-            result = worker.compute_gradient(models, step)
+            with tracer.span("thr.worker.gather", step=step,
+                             node=worker.node_id):
+                models = self.transport.wait_quorum(
+                    worker.node_id, MessageKind.MODEL_TO_WORKER, step,
+                    quorum=self.config.model_quorum,
+                    timeout=self.quorum_timeout)
+            with tracer.span("thr.worker.compute", step=step,
+                             node=worker.node_id):
+                result = worker.compute_gradient(models, step)
             if not worker.is_byzantine:
                 board = self._observation_board
                 if board is not None \
@@ -434,31 +441,45 @@ class ThreadedClusterRuntime:
         start_time = self._start_time
         worker_ids = self.config.worker_ids()
         server_ids = self.config.server_ids()
+        tracer = get_tracer()
         for step in range(num_steps):
             if self._sits_out(server.node_id, step):
                 continue
             self._maybe_straggle(server.node_id)
             # Phase 1: broadcast the current model to the workers.
-            for worker_id in worker_ids:
-                payload = server.outgoing_model(step, recipient=worker_id)
-                self.transport.send(server.node_id, worker_id,
-                                    MessageKind.MODEL_TO_WORKER, step, payload)
+            with tracer.span("thr.server.broadcast", step=step,
+                             node=server.node_id):
+                for worker_id in worker_ids:
+                    payload = server.outgoing_model(step, recipient=worker_id)
+                    self.transport.send(server.node_id, worker_id,
+                                        MessageKind.MODEL_TO_WORKER, step,
+                                        payload)
             # Phase 2: gather gradients and update (Byzantine servers skip the
             # honest computation — whatever they hold is corrupted on send).
-            gradients = self.transport.wait_quorum(
-                server.node_id, MessageKind.GRADIENT_TO_SERVER, step,
-                quorum=self.config.gradient_quorum, timeout=self.quorum_timeout)
-            server.apply_gradients(gradients, step)
+            with tracer.span("thr.server.gather", step=step,
+                             node=server.node_id):
+                gradients = self.transport.wait_quorum(
+                    server.node_id, MessageKind.GRADIENT_TO_SERVER, step,
+                    quorum=self.config.gradient_quorum,
+                    timeout=self.quorum_timeout)
+            with tracer.span("thr.server.aggregate", step=step,
+                             node=server.node_id):
+                server.apply_gradients(gradients, step)
             # Phase 3: exchange models between servers and take the median.
-            for server_id in server_ids:
-                payload = server.outgoing_model(step, recipient=server_id) \
-                    if server_id != server.node_id else server.current_parameters()
-                self.transport.send(server.node_id, server_id,
-                                    MessageKind.MODEL_TO_SERVER, step, payload)
-            models = self.transport.wait_quorum(
-                server.node_id, MessageKind.MODEL_TO_SERVER, step,
-                quorum=self.config.model_quorum, timeout=self.quorum_timeout)
-            server.merge_models(models)
+            with tracer.span("thr.server.apply", step=step,
+                             node=server.node_id):
+                for server_id in server_ids:
+                    payload = server.outgoing_model(step, recipient=server_id) \
+                        if server_id != server.node_id \
+                        else server.current_parameters()
+                    self.transport.send(server.node_id, server_id,
+                                        MessageKind.MODEL_TO_SERVER, step,
+                                        payload)
+                models = self.transport.wait_quorum(
+                    server.node_id, MessageKind.MODEL_TO_SERVER, step,
+                    quorum=self.config.model_quorum,
+                    timeout=self.quorum_timeout)
+                server.merge_models(models)
             with self._record_lock:
                 self._step_times[step] = max(self._step_times.get(step, 0.0),
                                              time.perf_counter() - start_time)

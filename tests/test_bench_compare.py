@@ -230,3 +230,73 @@ class TestReportFormatAdapters:
         medians = load_medians(str(baseline))
         assert medians
         assert all(value > 0 for value in medians.values())
+
+
+class TestTraceAnnotation:
+    """--trace dominant-phase decoration of regression messages."""
+
+    def _jsonl(self, path, records):
+        path.write_text("\n".join(json.dumps(record) for record in records)
+                        + "\n")
+        return str(path)
+
+    def test_summary_json_is_loaded_directly(self, tmp_path):
+        from repro.benchtools.compare import dominant_phase, load_trace_summary
+
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(
+            {"spans": {"seq.step.compute": {"count": 4, "total_s": 3.0},
+                       "seq.step.apply": {"count": 4, "total_s": 1.0}}}))
+        summary = load_trace_summary(str(path))
+        assert dominant_phase(summary) == \
+            "seq.step.compute (75% of traced time)"
+
+    def test_raw_jsonl_spans_are_aggregated(self, tmp_path):
+        from repro.benchtools.compare import dominant_phase, load_trace_summary
+
+        path = self._jsonl(tmp_path / "trace.jsonl", [
+            {"name": "a", "kind": "span", "ts": 0.0, "dur": 1.0},
+            {"name": "a", "kind": "span", "ts": 1.0, "dur": 1.0},
+            {"name": "b", "kind": "span", "ts": 2.0, "dur": 0.5},
+        ])
+        summary = load_trace_summary(path)
+        assert summary["spans"]["a"] == {"count": 2, "total_s": 2.0}
+        assert "(80% of traced time)" in dominant_phase(summary)
+
+    def test_embedded_campaign_summaries_are_folded(self, tmp_path):
+        """Pool-run sweep traces carry summaries inside campaign events."""
+        from repro.benchtools.compare import dominant_phase, load_trace_summary
+
+        path = self._jsonl(tmp_path / "pool.jsonl", [
+            {"name": "campaign.scenario", "kind": "event", "ts": 0.0,
+             "attrs": {"scenario": "s0", "trace_summary": {
+                 "spans": {"seq.step.compute": {"count": 3, "total_s": 2.0}}}}},
+            {"name": "campaign.scenario", "kind": "event", "ts": 1.0,
+             "attrs": {"scenario": "s1", "trace_summary": {
+                 "spans": {"seq.step.compute": {"count": 3, "total_s": 1.0},
+                           "seq.step.apply": {"count": 3, "total_s": 0.5}}}}},
+        ])
+        summary = load_trace_summary(path)
+        assert summary["spans"]["seq.step.compute"] == \
+            {"count": 6, "total_s": 3.0}
+
+    def test_unusable_trace_is_best_effort_none(self, tmp_path):
+        from repro.benchtools.compare import dominant_phase, load_trace_summary
+
+        assert load_trace_summary(str(tmp_path / "missing.jsonl")) is None
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert load_trace_summary(str(bad)) is None
+        assert dominant_phase(None) is None
+        assert dominant_phase({"spans": {}}) is None
+
+    def test_main_annotates_regressions(self, tmp_path, capsys):
+        current = _write(tmp_path / "current.json", {"bench": 2.0})
+        baseline = _write(tmp_path / "baseline.json", {"bench": 1.0})
+        trace = self._jsonl(tmp_path / "trace.jsonl", [
+            {"name": "seq.step.compute", "kind": "span", "ts": 0.0,
+             "dur": 1.0}])
+        assert main([current, baseline, "--trace", trace]) == 1
+        err = capsys.readouterr().err
+        assert "[dominant phase: seq.step.compute (100% of traced time)]" \
+            in err

@@ -379,3 +379,89 @@ class TestResilience:
                                 "--heal-steps", "4"]
         code, _ = _run(capsys, argv)
         assert code == 2
+
+
+class TestObservability:
+    """Global --trace/--log-level flags and the trace/report subcommands."""
+
+    def test_trace_flag_writes_jsonl(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        argv = ["--trace", str(trace_path), "--steps", "3",
+                "--workers-count", "6", "--servers-count", "3", "figure4"]
+        code = cli.main(argv)
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace record(s)" in captured.err
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(trace_path))
+        assert records, "traced run must produce records"
+        kinds = {record.kind for record in records}
+        assert "span" in kinds
+        # --trace enables decision records.
+        assert any(record.name == "seq.gar.decision" for record in records)
+
+    def test_trace_and_report_subcommands_render(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        code = cli.main(["--trace", str(trace_path), "--steps", "3",
+                         "--workers-count", "6", "--servers-count", "3",
+                         "figure4"])
+        capsys.readouterr()
+        assert code == 0
+
+        code, out = _run(capsys, ["trace", str(trace_path)])
+        assert code == 0
+        assert "span(s)" in out
+        assert "seq.step.compute" in out
+
+        code, out = _run(capsys, ["report", str(trace_path)])
+        assert code == 0
+        assert "Phase breakdown" in out
+        assert "Span timeline" in out
+        assert "seq.step.aggregate" in out
+
+    def test_trace_subcommand_missing_file_exits_2(self, capsys):
+        code, _ = _run(capsys, ["trace", "/nonexistent/trace.jsonl"])
+        assert code == 2
+
+    def test_sweep_trace_carries_campaign_counters(self, capsys, tmp_path):
+        trace_path = tmp_path / "sweep.jsonl"
+        argv = ["--trace", str(trace_path), "--steps", "3",
+                "--workers-count", "6", "--servers-count", "3",
+                "sweep", "--gars", "median", "--seeds", "0", "1",
+                "--processes", "1"]
+        code = cli.main(argv)
+        capsys.readouterr()
+        assert code == 0
+        from repro.obs import read_jsonl
+
+        records = read_jsonl(str(trace_path))
+        counters = {record.name for record in records
+                    if record.kind == "counter"}
+        assert "campaign.cache_miss" in counters
+        events = [record for record in records
+                  if record.name == "campaign.scenario"]
+        assert len(events) == 2
+
+    def test_sweep_progress_lines_include_elapsed_time(self, capsys):
+        argv = ["--steps", "3", "--workers-count", "6",
+                "--servers-count", "3", "sweep", "--gars", "median",
+                "--seeds", "0", "--processes", "1"]
+        code, out = _run(capsys, argv)
+        assert code == 0
+        assert "[1/1] ran" in out
+        assert "[+" in out  # per-scenario elapsed suffix
+
+    def test_log_level_flag_configures_repro_logger(self, capsys):
+        import logging
+
+        code, _ = _run(capsys, ["--log-level", "debug", "table1"])
+        assert code == 0
+        assert logging.getLogger("repro").level == logging.DEBUG
+        code, _ = _run(capsys, ["--log-level", "warning", "table1"])
+        assert code == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_unknown_log_level_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["--log-level", "loud", "table1"])

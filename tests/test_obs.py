@@ -1,0 +1,262 @@
+"""Tests for the observability layer: tracer, ring buffer, JSONL, logging."""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    configure_logging,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.logging import JsonLogFormatter
+
+
+class TestTracerRecording:
+    def test_span_context_manager_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("phase.one", step=3, node="server-0"):
+            pass
+        (record,) = tracer.events()
+        assert record.kind == "span"
+        assert record.name == "phase.one"
+        assert record.step == 3
+        assert record.node == "server-0"
+        assert record.dur is not None and record.dur >= 0.0
+
+    def test_record_span_from_explicit_marks(self):
+        tracer = Tracer()
+        tracer.record_span("batch.step.compute", 1.0, 1.25, step=0, replicas=4)
+        (record,) = tracer.events()
+        assert record.dur == pytest.approx(0.25)
+        assert record.attrs == {"replicas": 4}
+
+    def test_event_and_counter(self):
+        tracer = Tracer()
+        tracer.event("campaign.scenario", scenario="s0", status="ran")
+        tracer.count("campaign.cache_hit")
+        tracer.count("campaign.cache_hit")
+        tracer.count("campaign.scenario_seconds", 0.5)
+        (record,) = tracer.events()
+        assert record.kind == "event"
+        assert record.attrs["scenario"] == "s0"
+        assert tracer.counters() == {"campaign.cache_hit": 2,
+                                     "campaign.scenario_seconds": 0.5}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("phase"):
+            pass
+        tracer.event("event")
+        tracer.count("counter")
+        tracer.record_span("span", 0.0, 1.0)
+        assert tracer.events() == []
+        assert tracer.counters() == {}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestRingBuffer:
+    def test_truncation_keeps_newest_and_counts_dropped(self):
+        tracer = Tracer(capacity=5)
+        for index in range(12):
+            tracer.event(f"e{index}")
+        records = tracer.events()
+        assert [record.name for record in records] == \
+            [f"e{index}" for index in range(7, 12)]
+        assert tracer.dropped == 7
+        assert tracer.summary()["dropped"] == 7
+
+    def test_no_drop_below_capacity(self):
+        tracer = Tracer(capacity=10)
+        for index in range(10):
+            tracer.event(f"e{index}")
+        assert tracer.dropped == 0
+
+    def test_extend_respects_capacity(self):
+        source = Tracer()
+        for index in range(8):
+            source.event(f"s{index}")
+        sink = Tracer(capacity=4)
+        sink.extend(source.events())
+        assert len(sink.events()) == 4
+        assert sink.dropped == 4
+
+
+class TestJsonl:
+    def test_round_trip_through_a_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("phase.a", step=1):
+            pass
+        tracer.event("fault", node="worker-2", ids=["worker-2"])
+        tracer.count("hits", 3)
+        path = str(tmp_path / "trace.jsonl")
+        written = tracer.write_jsonl(path)
+        assert written == 3
+
+        records = read_jsonl(path)
+        assert [record.kind for record in records] == \
+            ["span", "event", "counter"]
+        span, event, counter = records
+        assert span.name == "phase.a" and span.step == 1
+        assert event.attrs == {"ids": ["worker-2"]}
+        assert counter.attrs == {"value": 3}
+
+    def test_round_trip_through_a_stream(self):
+        tracer = Tracer()
+        tracer.event("e", k="v")
+        buffer = io.StringIO()
+        assert tracer.write_jsonl(buffer) == 1
+        (record,) = read_jsonl(io.StringIO(buffer.getvalue()))
+        assert record.name == "e" and record.attrs == {"k": "v"}
+
+    def test_lines_are_compact_single_objects(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("e")
+        path = str(tmp_path / "trace.jsonl")
+        tracer.write_jsonl(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        # Empty optional fields are dropped from the serialised form.
+        assert "dur" not in payload and "node" not in payload
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert Tracer().write_jsonl(path) == 0
+        assert read_jsonl(path) == []
+
+
+class TestSummary:
+    def test_aggregates_spans_by_name(self):
+        tracer = Tracer()
+        tracer.record_span("a", 0.0, 1.0)
+        tracer.record_span("a", 2.0, 2.5)
+        tracer.record_span("b", 0.0, 0.25)
+        tracer.event("x")
+        summary = tracer.summary()
+        assert summary["spans"]["a"]["count"] == 2
+        assert summary["spans"]["a"]["total_s"] == pytest.approx(1.5)
+        assert summary["spans"]["a"]["mean_s"] == pytest.approx(0.75)
+        assert summary["spans"]["b"]["count"] == 1
+        assert summary["events"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_appends_lose_nothing(self):
+        tracer = Tracer(capacity=100_000)
+        per_thread = 500
+
+        def emit(tag):
+            for index in range(per_thread):
+                tracer.event(f"{tag}.{index}")
+                tracer.count("total")
+
+        threads = [threading.Thread(target=emit, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.events()) == 8 * per_thread
+        assert tracer.counters()["total"] == 8 * per_thread
+        assert tracer.dropped == 0
+
+
+class TestActiveTracer:
+    def test_default_is_a_null_tracer(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert not get_tracer().enabled
+
+    def test_use_tracer_restores_previous(self):
+        tracer = Tracer()
+        before = get_tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is before
+
+    def test_use_tracer_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is before
+
+    def test_set_tracer_none_resets_to_null(self):
+        set_tracer(Tracer())
+        try:
+            assert get_tracer().enabled
+        finally:
+            set_tracer(None)
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_null_tracer_interface_is_noop(self, tmp_path):
+        tracer = NullTracer()
+        with tracer.span("x"):
+            pass
+        tracer.event("x")
+        tracer.count("x")
+        tracer.record_span("x", 0.0, 1.0)
+        assert tracer.events() == []
+        assert tracer.counters() == {}
+        assert tracer.summary()["spans"] == {}
+        assert tracer.write_jsonl(str(tmp_path / "none.jsonl")) == 0
+
+
+class TestTraceEvent:
+    def test_to_from_dict_round_trip(self):
+        event = TraceEvent(name="n", kind="span", ts=1.5, dur=0.5,
+                           step=2, node="server-1", attrs={"k": 1})
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+    def test_minimal_event_round_trip(self):
+        event = TraceEvent(name="n")
+        payload = event.to_dict()
+        assert payload == {"name": "n", "kind": "event", "ts": 0.0}
+        assert TraceEvent.from_dict(payload) == event
+
+
+class TestLogging:
+    def test_configures_level_and_single_handler(self):
+        logger = configure_logging("debug", stream=io.StringIO())
+        assert logger.level == logging.DEBUG
+        # Idempotent: re-configuring replaces the CLI handler.
+        logger = configure_logging("error", stream=io.StringIO())
+        cli_handlers = [handler for handler in logger.handlers
+                        if getattr(handler, "_repro_cli_handler", False)]
+        assert len(cli_handlers) == 1
+        assert logger.level == logging.ERROR
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+    def test_json_mode_emits_parseable_lines(self):
+        stream = io.StringIO()
+        logger = configure_logging("info", json_mode=True, stream=stream)
+        logger.info("hello %s", "world")
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["message"] == "hello world"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro"
+
+    def test_json_formatter_includes_exceptions(self):
+        formatter = JsonLogFormatter()
+        try:
+            raise ValueError("bad")
+        except ValueError:
+            import sys
+            record = logging.LogRecord("repro.test", logging.ERROR, __file__,
+                                       1, "failed", None, sys.exc_info())
+        payload = json.loads(formatter.format(record))
+        assert "ValueError: bad" in payload["exception"]

@@ -1,0 +1,122 @@
+"""Tier-1 guarantee: tracing is zero-perturbation.
+
+Recording a trace must not change what the traced computation computes:
+the equivalence guarantees of the runtimes (sequential↔batched
+bit-identity, sequential↔threaded loss-trajectory identity) and plain
+traced-vs-untraced runs are re-asserted here with a live tracer — GAR
+decision records included, since those recompute selection on the side.
+Everything is compared with ``==`` on the serialised histories; nothing
+uses a tolerance.
+"""
+
+from repro.batch import run_batched_scenarios
+from repro.campaign.engine import execute_scenario, run_campaign
+from repro.campaign.spec import ScenarioSpec
+from repro.obs import Tracer, use_tracer
+
+SEEDS = (0, 1, 7)
+
+
+def tiny_spec(**overrides) -> ScenarioSpec:
+    base = dict(name="tiny", num_workers=6, num_servers=3,
+                declared_byzantine_workers=1, declared_byzantine_servers=0,
+                num_steps=4, eval_every=2, dataset_size=300,
+                max_eval_samples=64)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def traced(fn, **tracer_kwargs):
+    """Run ``fn`` under a fresh recording tracer; return (result, tracer)."""
+    tracer = Tracer(record_decisions=True, **tracer_kwargs)
+    with use_tracer(tracer):
+        result = fn()
+    return result, tracer
+
+
+class TestSequentialUnperturbed:
+    def test_traced_history_equals_untraced(self):
+        spec = tiny_spec(worker_attack="random_gradient")
+        baseline = execute_scenario(spec)
+        history, tracer = traced(lambda: execute_scenario(spec))
+        assert history.to_dict() == baseline.to_dict()
+        # ... and the trace actually recorded the run (not vacuous).
+        spans = {record.name for record in tracer.events()
+                 if record.kind == "span"}
+        assert "seq.step.aggregate" in spans
+        decisions = [record for record in tracer.events()
+                     if record.name == "seq.gar.decision"]
+        assert decisions, "record_decisions=True must emit decision records"
+
+    def test_tiny_ring_buffer_still_unperturbed(self):
+        # Heavy truncation exercises the drop path mid-run.
+        spec = tiny_spec()
+        baseline = execute_scenario(spec)
+        history, tracer = traced(lambda: execute_scenario(spec), capacity=8)
+        assert history.to_dict() == baseline.to_dict()
+        assert tracer.dropped > 0
+
+
+class TestBatchedBitIdentityTraced:
+    def test_batched_equals_sequential_with_tracing_on(self):
+        specs = [ScenarioSpec(name=f"s{seed}", seed=seed, num_steps=8,
+                              eval_every=3, dataset_size=400,
+                              max_eval_samples=64) for seed in SEEDS]
+        sequential = [execute_scenario(spec) for spec in specs]
+        batched, tracer = traced(lambda: run_batched_scenarios(specs))
+        for batched_history, sequential_history in zip(batched, sequential):
+            assert batched_history.to_dict() == sequential_history.to_dict()
+        spans = {record.name for record in tracer.events()
+                 if record.kind == "span"}
+        assert {"batch.step.broadcast", "batch.step.compute",
+                "batch.step.gather", "batch.step.aggregate",
+                "batch.step.apply"} <= spans
+
+    def test_traced_batched_equals_untraced_batched(self):
+        specs = [ScenarioSpec(name=f"b{seed}", seed=seed, num_steps=6,
+                              eval_every=2, dataset_size=300,
+                              max_eval_samples=64,
+                              worker_attack="random_gradient",
+                              declared_byzantine_workers=1)
+                 for seed in SEEDS]
+        baseline = run_batched_scenarios(specs)
+        histories, _ = traced(lambda: run_batched_scenarios(specs))
+        for history, expected in zip(histories, baseline):
+            assert history.to_dict() == expected.to_dict()
+
+
+class TestThreadedLossTrajectoryTraced:
+    def test_traced_threaded_losses_equal_untraced(self):
+        # Full quorums: every message is awaited, so the loss trajectory is
+        # deterministic despite real threads — partial quorums race on
+        # arrival order and differ run-to-run even without tracing.
+        spec = tiny_spec(trainer="guanyu_threaded", num_steps=3,
+                         declared_byzantine_workers=0,
+                         gradient_quorum=6, model_quorum=3,
+                         quorum_timeout=30.0)
+
+        def losses(history):
+            return [record.train_loss for record in history.records]
+
+        baseline = execute_scenario(spec)
+        history, tracer = traced(lambda: execute_scenario(spec))
+        assert losses(history) == losses(baseline)
+        spans = {record.name for record in tracer.events()
+                 if record.kind == "span"}
+        assert "thr.worker.compute" in spans
+        assert "thr.server.aggregate" in spans
+
+
+class TestCampaignUnperturbed:
+    def test_traced_campaign_histories_equal_untraced(self):
+        scenarios = [tiny_spec(name=f"c{seed}", seed=seed)
+                     for seed in (0, 1)]
+        baseline = run_campaign(scenarios, name="plain")
+        result, tracer = traced(
+            lambda: run_campaign(scenarios, name="traced"))
+        for outcome, expected in zip(result.outcomes, baseline.outcomes):
+            assert outcome.history.to_dict() == expected.history.to_dict()
+        assert tracer.counters().get("campaign.cache_miss") == 2
+        events = {record.name for record in tracer.events()
+                  if record.kind == "event"}
+        assert "campaign.scenario" in events
