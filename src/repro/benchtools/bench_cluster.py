@@ -1,0 +1,148 @@
+"""Process-cluster runtime benchmark: socket cluster vs threaded execution.
+
+Times one small GuanYu scenario twice — once on the process cluster
+runtime (every node a separate OS process over sockets, see
+``docs/cluster.md``) and once on the in-process threaded runtime —
+verifies the loss trajectories are bit-identical, and writes the result
+as ``BENCH_cluster.json``.  The weekly bench-trajectory job archives the
+file, so the per-step socket overhead and process-startup cost are
+tracked over time; there is no pass/fail threshold — real-process
+numbers on shared runners are too noisy to gate on.
+
+On hosts that cannot bind sockets (sandboxes), the report records the
+skip instead of failing: the benchmark is trajectory data, not a gate.
+
+Usage::
+
+    python -m repro.benchtools.bench_cluster --steps 4 \
+        --output BENCH_cluster.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+from repro.benchtools.util import best_of, machine_metadata
+
+
+def _bench_spec(steps: int, seed: int):
+    """The benchmark scenario: smallest admissible cluster, full quorums
+    and median-family rules so both runtimes are bit-identical."""
+    from repro.campaign.spec import ScenarioSpec
+
+    return ScenarioSpec(
+        name="bench-cluster", trainer="guanyu_threaded",
+        num_workers=4, num_servers=3,
+        declared_byzantine_workers=0, declared_byzantine_servers=0,
+        model_quorum=3, gradient_quorum=4,
+        gradient_rule="median", model_rule="median",
+        num_steps=steps, seed=seed)
+
+
+def run_benchmark(steps: int = 4, seed: int = 42, repeats: int = 1,
+                  transport: str = "auto") -> Dict:
+    """Time the cluster vs threaded runtime; returns the report dict.
+
+    ``repeats > 1`` keeps the **best** run per side (a single unlucky
+    process-spawn storm on a shared runner should not distort the
+    trajectory).
+    """
+    from repro.campaign.engine import build_trainer
+    from repro.runtime.cluster import (
+        ClusterOptions,
+        ClusterRuntime,
+        cluster_available,
+    )
+
+    repeats = max(repeats, 1)
+    spec = _bench_spec(steps, seed)
+    report: Dict = {
+        "benchmark": "cluster_runtime",
+        "scale": "small",
+        "scenario": {"trainer": "guanyu_threaded",
+                     "num_servers": spec.num_servers,
+                     "num_workers": spec.num_workers,
+                     "gradient_rule": spec.gradient_rule,
+                     "num_steps": steps, "seed": seed},
+        "repeats": repeats,
+        "machine": machine_metadata(),
+    }
+    if not cluster_available():
+        report["skipped"] = True
+        report["reason"] = "host cannot bind sockets"
+        return report
+
+    threaded_seconds, threaded_history = best_of(
+        repeats, lambda: build_trainer(spec).run(steps))
+
+    cluster_spec = spec.replace(runtime="cluster")
+    options = ClusterOptions(transport=transport)
+
+    def run_cluster():
+        runtime = ClusterRuntime(cluster_spec, options=options)
+        history = runtime.run(steps)
+        return history, runtime.report()
+
+    cluster_seconds, (cluster_history, cluster_report) = best_of(
+        repeats, run_cluster)
+
+    threaded_losses = [record.train_loss for record in threaded_history.records]
+    cluster_losses = [record.train_loss for record in cluster_history.records]
+    report.update({
+        "skipped": False,
+        "transport": cluster_report["transport"],
+        "num_processes": spec.num_servers + spec.num_workers,
+        "threaded_seconds": threaded_seconds,
+        "cluster_seconds": cluster_seconds,
+        "cluster_seconds_per_step": cluster_seconds / steps,
+        "overhead_factor": (cluster_seconds / threaded_seconds
+                            if threaded_seconds > 0 else float("inf")),
+        "losses_identical": threaded_losses == cluster_losses,
+    })
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchtools.bench_cluster",
+        description="Benchmark the process cluster runtime vs the "
+                    "threaded runtime.")
+    parser.add_argument("--steps", type=int, default=4,
+                        help="training steps per run (default 4)")
+    parser.add_argument("--seed", type=int, default=42, help="scenario seed")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing rounds per side; the best round counts")
+    parser.add_argument("--transport", choices=("auto", "unix", "tcp"),
+                        default="auto", help="socket family for the cluster")
+    parser.add_argument("--output", default="BENCH_cluster.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(steps=args.steps, seed=args.seed,
+                           repeats=args.repeats, transport=args.transport)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    if report.get("skipped"):
+        print(f"bench-cluster: skipped ({report['reason']}) -> {args.output}")
+        return 0
+    print(f"bench-cluster: {report['num_processes']} processes x "
+          f"{args.steps} steps over {report['transport']} sockets: "
+          f"threaded {report['threaded_seconds']:.2f}s, cluster "
+          f"{report['cluster_seconds']:.2f}s "
+          f"({report['cluster_seconds_per_step']:.2f}s/step, "
+          f"{report['overhead_factor']:.1f}x), losses_identical="
+          f"{report['losses_identical']} -> {args.output}")
+    if not report["losses_identical"]:
+        print("bench-cluster: cluster losses are NOT bit-identical to the "
+              "threaded runtime", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

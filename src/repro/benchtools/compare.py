@@ -118,6 +118,8 @@ def load_trace_summary(path: str) -> Optional[Dict]:
     def bucket(name: str) -> Dict[str, float]:
         return spans.setdefault(name, {"count": 0, "total_s": 0.0})
 
+    records = []
+    raw_sources = set()
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -126,15 +128,28 @@ def load_trace_summary(path: str) -> Optional[Dict]:
             record = json.loads(line)
         except json.JSONDecodeError:
             return None
+        records.append(record)
+        if (record.get("kind") == "span" and record.get("dur") is not None
+                and record.get("source") is not None):
+            raw_sources.add(record["source"])
+    for record in records:
         if record.get("kind") == "span" and record.get("dur") is not None:
             entry = bucket(record["name"])
             entry["count"] += 1
             entry["total_s"] += float(record["dur"])
             continue
         # Pool-run campaign traces carry no raw spans — per-scenario
-        # summaries are embedded in campaign events instead.
+        # summaries are embedded in campaign events instead.  Merged
+        # multi-source traces (cluster runs) carry both raw spans and a
+        # per-process summary event tagged with the same `source`: skip
+        # the summary, its spans are already counted.
         embedded = (record.get("attrs") or {}).get("trace_summary")
         if isinstance(embedded, dict):
+            source = record.get("source") \
+                if record.get("source") is not None \
+                else (record.get("attrs") or {}).get("source")
+            if source is not None and source in raw_sources:
+                continue
             for name, stats in (embedded.get("spans") or {}).items():
                 entry = bucket(name)
                 entry["count"] += int(stats.get("count", 0))

@@ -154,6 +154,17 @@ def build_trainer(spec: ScenarioSpec):
             cost_num_parameters=spec.billed_parameters,
             hetero=spec.hetero, label=spec.name)
     if spec.trainer == "guanyu_threaded":
+        if spec.runtime == "cluster":
+            from repro.runtime.cluster.supervisor import (  # lazy: sockets
+                ClusterRuntime,
+                cluster_available,
+            )
+
+            if cluster_available():
+                return ClusterRuntime(spec)
+            # Sockets unusable on this host (sandboxes forbid binding):
+            # fall back to the threaded runtime, whose loss trajectories
+            # the tier-1 cluster equivalence gate pins to the cluster's.
         return ThreadedClusterRuntime(
             config=spec.cluster_config(), model_fn=model_fn,
             train_dataset=train, batch_size=spec.batch_size, schedule=schedule,
@@ -172,9 +183,11 @@ def build_trainer(spec: ScenarioSpec):
 
 def execute_scenario(spec: ScenarioSpec) -> TrainingHistory:
     """Validate, build and run one scenario; returns its history."""
+    from repro.runtime.cluster.supervisor import ClusterRuntime  # lazy
+
     spec.validate()
     trainer = build_trainer(spec)
-    if isinstance(trainer, ThreadedClusterRuntime):
+    if isinstance(trainer, (ThreadedClusterRuntime, ClusterRuntime)):
         history = trainer.run(spec.num_steps)
         history.label = spec.name
         return history

@@ -265,6 +265,11 @@ class ScenarioSpec:
     #: threaded runtime only: delivery jitter bound and per-quorum deadline
     jitter: float = 0.0
     quorum_timeout: float = 60.0
+    #: execution runtime for trainer ``guanyu_threaded``: ``None`` (node
+    #: threads in one process — the legacy default) or ``"cluster"`` (one
+    #: OS process per node over real sockets, under a supervisor).  Absent
+    #: ≡ legacy for content addressing, so pre-cluster stores stay valid.
+    runtime: Optional[str] = None
 
     # -- time-varying faults (GuanYu trainers only) ------------------------- #
     #: declarative :class:`~repro.faults.FaultSchedule` (or its dict form):
@@ -465,6 +470,16 @@ class ScenarioSpec:
             config = self.cluster_config()
             self.faults.validate(
                 known_nodes=config.worker_ids() + config.server_ids())
+        if self.runtime is not None:
+            if self.runtime != "cluster":
+                raise ValueError(f"unknown runtime '{self.runtime}'; the "
+                                 f"only explicit runtime is 'cluster' "
+                                 f"(absent means node threads)")
+            if self.trainer != "guanyu_threaded":
+                raise ValueError(
+                    "runtime 'cluster' runs the wall-clock cluster protocol "
+                    "as real OS processes and requires trainer "
+                    f"'guanyu_threaded' (got '{self.trainer}')")
         if self.trainer == "guanyu_threaded":
             # The threaded runtime runs on the real wall clock: delay/cost
             # models do not apply, and silently ignoring them would let two
@@ -589,9 +604,9 @@ class ScenarioSpec:
         or harness chose to name them.  An absent ``faults`` schedule is
         excluded too: fault-free specs keep the addresses they had before
         fault injection existed, and the hash changes iff the schedule does.
-        The same absent≡legacy rule applies to ``adversary`` and
-        ``hetero``, so stores filled before the adversary or heterogeneity
-        engines existed stay valid.
+        The same absent≡legacy rule applies to ``adversary``, ``hetero``
+        and ``runtime``, so stores filled before the adversary,
+        heterogeneity or cluster engines existed stay valid.
         """
         payload = self.to_dict()
         del payload["name"]
@@ -601,6 +616,8 @@ class ScenarioSpec:
             del payload["adversary"]
         if payload["hetero"] is None:
             del payload["hetero"]
+        if payload["runtime"] is None:
+            del payload["runtime"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -622,6 +639,8 @@ class ScenarioSpec:
             del payload["adversary"]
         if payload["hetero"] is None:
             del payload["hetero"]
+        if payload["runtime"] is None:
+            del payload["runtime"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

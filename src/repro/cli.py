@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``)::
         --attacks random_gradient sign_flip --seeds 0 1 --store results/
     python -m repro.cli sweep --adversaries omniscient_descent collusion
     python -m repro.cli sweep --hetero iid dirichlet=0.1 shards=2
+    python -m repro.cli sweep --trainer guanyu_threaded --runtime cluster
+    python -m repro.cli cluster --servers-count 3 --workers-count 4 --steps 3
     python -m repro.cli resilience --mode crash --crashes 0 1 2 3
     python -m repro.cli resilience --mode partition --heal-steps 20 30 40
     python -m repro.cli breakdown --gars mean median multi_krum
@@ -37,7 +39,14 @@ a grid axis; ``--hetero`` sweeps non-i.i.d. data partitions
 studies; ``breakdown`` bisects the empirical breakdown point of each GAR
 under each adversary; ``hetero`` produces the accuracy-vs-skew × GAR ×
 adversary table of the heterogeneity study; ``attacks`` and ``list`` print
-the registries sweep specs draw from.
+the registries sweep specs draw from.  ``cluster`` runs one scenario on
+the **process cluster runtime** — every parameter server and worker as a
+separate OS process over real sockets under a supervising daemon (see
+``docs/cluster.md``); ``sweep --runtime cluster`` puts whole grids on it.
+``sweep`` and ``cluster`` handle SIGINT/SIGTERM gracefully: completed
+scenario results are already flushed to the ``--store`` and the command
+exits with the distinct code 3 so callers can tell "interrupted" from
+"failed".
 
 Observability (see ``docs/observability.md``): the global ``--trace FILE``
 flag records a structured trace of any subcommand (phase spans, GAR
@@ -51,8 +60,10 @@ subcommand.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
+import signal
 import sys
 import time
 from typing import Dict, Optional
@@ -101,6 +112,38 @@ from repro.plotting import (
     render_phase_breakdown,
     render_span_timeline,
 )
+
+
+#: exit code of ``sweep``/``cluster`` runs cut short by SIGINT/SIGTERM —
+#: distinct from 1 (scenario failures) and 2 (invalid arguments) so CI and
+#: shell wrappers can tell an interrupted campaign from a broken one.
+EXIT_INTERRUPTED = 3
+
+
+@contextlib.contextmanager
+def _graceful_interrupt():
+    """Deliver SIGTERM as :class:`KeyboardInterrupt` for one command.
+
+    SIGINT already raises ``KeyboardInterrupt``; routing SIGTERM through
+    the same exception lets long-running subcommands unwind their
+    ``finally`` blocks (tearing down cluster processes, closing the pool)
+    instead of dying mid-write.  The previous handler is restored on exit.
+    Outside the main thread — e.g. a test harness driving :func:`main`
+    directly — handlers cannot be installed and the command runs with the
+    process defaults.
+    """
+    def _raise(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - non-main-thread callers
+        previous = None
+    try:
+        yield
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -333,9 +376,16 @@ def _campaign_from_args(args: argparse.Namespace) -> CampaignSpec:
                 "--faults applies to grid sweeps only; a --spec campaign "
                 "file carries fault schedules in its scenarios' own "
                 "'faults' fields")
+        if args.runtime:
+            raise ValueError(
+                "--runtime applies to grid sweeps only; a --spec campaign "
+                "file carries the runtime in its scenarios' own 'runtime' "
+                "fields")
         return CampaignSpec.from_json_file(args.spec)
     base = ScenarioSpec.from_scale(_scale_from_args(args), trainer=args.trainer,
                                    name=args.name)
+    if args.runtime:
+        base = base.replace(runtime=args.runtime)
     if args.faults:
         with open(args.faults, "r", encoding="utf-8") as handle:
             base = base.replace(faults=FaultSchedule.from_json(handle.read()))
@@ -412,9 +462,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # and progress would otherwise arrive only at campaign end.
         print(line, flush=True)
 
-    result = run_campaign(scenarios, name=campaign_name, store=store,
-                          processes=processes, progress=report_progress,
-                          batch_seeds=args.batch_seeds)
+    try:
+        with _graceful_interrupt():
+            result = run_campaign(scenarios, name=campaign_name, store=store,
+                                  processes=processes,
+                                  progress=report_progress,
+                                  batch_seeds=args.batch_seeds)
+    except KeyboardInterrupt:
+        # Completed scenarios were persisted the moment they finished (the
+        # engine calls store.put per outcome), so the interrupt loses only
+        # the in-flight work.
+        if store is not None:
+            print(f"\ninterrupted: completed results already flushed to "
+                  f"{store.root} ({len(store)} entries); re-run the same "
+                  f"sweep to resume", flush=True)
+        else:
+            print("\ninterrupted (no --store given: completed results were "
+                  "not persisted)", flush=True)
+        return EXIT_INTERRUPTED
     elapsed = time.perf_counter() - started
     counts = result.counts()
     num_batched = sum(1 for outcome in result.outcomes if outcome.batched)
@@ -434,6 +499,91 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"FAILED {outcome.spec.name}: {outcome.error}")
     _dump_json(args.json, _histories_payload(histories))
     return 1 if result.failures() else 0
+
+
+# --------------------------------------------------------------------------- #
+# Cluster subcommand (process cluster runtime)
+# --------------------------------------------------------------------------- #
+def _cluster_report_rows(report: Dict) -> list:
+    """Flatten a supervisor report into table rows for display."""
+    rows = []
+    for node_id, info in report["nodes"].items():
+        rows.append({
+            "node": node_id,
+            "state": info["state"],
+            "exits": ",".join(str(code) for code in info["exit_codes"]) or "-",
+            "respawns": info["respawns"],
+            "crashed_steps": ",".join(str(step)
+                                      for step in info["crashed_steps"]) or "-",
+        })
+    return rows
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run one scenario as real OS processes over real sockets."""
+    from repro.runtime.cluster import (
+        ClusterOptions,
+        ClusterRuntime,
+        SupervisorError,
+        cluster_available,
+    )
+
+    try:
+        spec = ScenarioSpec.from_scale(
+            _scale_from_args(args), trainer="guanyu_threaded",
+            name=args.name).replace(runtime="cluster")
+        if args.gar:
+            spec = spec.replace(gradient_rule=args.gar)
+        if args.faults:
+            with open(args.faults, "r", encoding="utf-8") as handle:
+                spec = spec.replace(
+                    faults=FaultSchedule.from_json(handle.read()))
+        spec.validate()
+        store = ResultStore(args.store) if args.store else None
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: invalid scenario: {exc}", file=sys.stderr)
+        return 2
+    if not cluster_available():
+        print("error: this host cannot bind sockets, so the process cluster "
+              "runtime is unavailable; run the scenario on the threaded "
+              "runtime instead (repro sweep --trainer guanyu_threaded)",
+              file=sys.stderr)
+        return 1
+    runtime = ClusterRuntime(spec,
+                             options=ClusterOptions(transport=args.transport))
+    started = time.perf_counter()
+    try:
+        with _graceful_interrupt():
+            history = runtime.run(spec.num_steps)
+    except KeyboardInterrupt:
+        # Supervisor.run tears the node processes down in its ``finally``
+        # before the interrupt reaches us; a single scenario has no partial
+        # result worth flushing.
+        print("\ninterrupted: cluster torn down, no completed result to "
+              "flush", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except SupervisorError as exc:
+        print(f"error: cluster run failed: {exc}", file=sys.stderr)
+        report = runtime.report()
+        if report is not None:
+            print("\nNode lifecycle at failure:", file=sys.stderr)
+            print(format_table(_cluster_report_rows(report)), file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - started
+    report = runtime.report()
+    print(f"cluster run '{spec.name}' — {spec.num_servers} server(s) + "
+          f"{spec.num_workers} worker(s) as OS processes over "
+          f"{report['transport']} sockets, {spec.num_steps} step(s) in "
+          f"{elapsed:.1f}s\n")
+    print(histories_summary_table({spec.name: history}))
+    print("\nNode lifecycle:")
+    print(format_table(_cluster_report_rows(report)))
+    if store is not None:
+        key = store.put(spec, history, duration_seconds=elapsed)
+        print(f"\nresult store: {store.root} ({len(store)} entries; "
+              f"this run: {key[:12]})")
+    _dump_json(args.json, {"history": history.to_dict(), "report": report})
+    return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -704,9 +854,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "drift=SIGMA)")
     sweep.add_argument("--faults", default=None, metavar="FILE",
                        help="fault-schedule JSON applied to every grid cell")
+    sweep.add_argument("--runtime", choices=("cluster",), default=None,
+                       help="execution runtime for every grid cell: "
+                            "'cluster' runs each scenario as real OS "
+                            "processes over sockets (requires --trainer "
+                            "guanyu_threaded; see docs/cluster.md)")
     sweep.add_argument("--skip-invalid", action="store_true",
                        help="drop inadmissible grid cells instead of failing")
     sweep.set_defaults(func=cmd_sweep)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run one scenario on the process cluster runtime: every "
+             "server/worker a separate OS process over real sockets, "
+             "under a supervising daemon (docs/cluster.md)")
+    cluster.add_argument("--name", default="cluster", help="scenario name")
+    cluster.add_argument("--gar", default=None, metavar="RULE",
+                         help="gradient aggregation rule "
+                              "(default: the scale's rule)")
+    cluster.add_argument("--transport", choices=("auto", "unix", "tcp"),
+                         default="auto",
+                         help="socket family (auto prefers Unix-domain "
+                              "sockets, falling back to TCP loopback)")
+    cluster.add_argument("--faults", default=None, metavar="FILE",
+                         help="fault-schedule JSON (crash events SIGKILL "
+                              "the real node process; recover events "
+                              "respawn it from the last server snapshot)")
+    cluster.add_argument("--store", default=None,
+                         help="result-store directory to persist the "
+                              "history under its content address")
+    cluster.set_defaults(func=cmd_cluster)
 
     resilience = subparsers.add_parser(
         "resilience", help="crash-vs-quorum and partition-heal fault studies")

@@ -66,6 +66,10 @@ class TraceEvent:
         Training-step index the record belongs to, when applicable.
     node:
         Node identifier (``"server-0"``, ``"worker-3"``) when applicable.
+    source:
+        Originating process of a *merged* multi-source trace (the cluster
+        runtime tags each node's forwarded records with its node id before
+        folding them into one JSONL).  ``None`` for single-process traces.
     attrs:
         Small JSON-serialisable attribute mapping.
     """
@@ -76,6 +80,7 @@ class TraceEvent:
     dur: Optional[float] = None
     step: Optional[int] = None
     node: Optional[str] = None
+    source: Optional[str] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -87,6 +92,8 @@ class TraceEvent:
             del payload["step"]
         if payload["node"] is None:
             del payload["node"]
+        if payload["source"] is None:
+            del payload["source"]
         if not payload["attrs"]:
             del payload["attrs"]
         return payload
@@ -96,6 +103,7 @@ class TraceEvent:
         return cls(name=payload["name"], kind=payload.get("kind", "event"),
                    ts=payload.get("ts", 0.0), dur=payload.get("dur"),
                    step=payload.get("step"), node=payload.get("node"),
+                   source=payload.get("source"),
                    attrs=payload.get("attrs", {}))
 
 

@@ -25,26 +25,37 @@ def _spans(records: Sequence[TraceEvent]) -> List[TraceEvent]:
 def phase_breakdown_rows(records: Sequence[TraceEvent]) -> List[Dict]:
     """Aggregate spans by name into table rows sorted by total time.
 
-    Rows also fold in ``campaign.scenario`` events' embedded
-    ``trace_summary`` attributes when present, so a sweep trace whose
-    per-step spans ran in pool subprocesses (only summaries travel back)
-    still yields a full phase breakdown.
+    Rows also fold in events' embedded ``trace_summary`` attributes when
+    present, so a sweep trace whose per-step spans ran in pool subprocesses
+    (only summaries travel back) still yields a full phase breakdown.
+
+    Merged multi-source traces — e.g. a cluster run, where every node
+    process forwards both its raw spans *and* a per-node summary event,
+    all tagged with a ``source`` — are not double-counted: a summary whose
+    record's ``source`` already contributed raw spans is skipped.
     """
     totals: Dict[str, Dict[str, float]] = {}
 
     def bucket(name: str) -> Dict[str, float]:
         return totals.setdefault(name, {"count": 0, "total_s": 0.0})
 
+    raw_sources = set()
     for record in _spans(records):
         entry = bucket(record.name)
         entry["count"] += 1
         entry["total_s"] += record.dur
+        if record.source is not None:
+            raw_sources.add(record.source)
     for record in records:
         if record.kind != "event":
             continue
         summary = record.attrs.get("trace_summary")
         if not isinstance(summary, dict):
             continue
+        source = (record.source if record.source is not None
+                  else record.attrs.get("source"))
+        if source is not None and source in raw_sources:
+            continue  # that process's raw spans are already counted above
         for name, stats in (summary.get("spans") or {}).items():
             entry = bucket(name)
             entry["count"] += int(stats.get("count", 0))

@@ -1,0 +1,514 @@
+"""Node process entry point of the cluster runtime.
+
+``python -m repro.runtime.cluster.node`` reads one JSON configuration
+object from stdin and runs a single GuanYu node — one parameter server or
+one worker — as a real OS process.  The protocol logic is **identical** to
+the threaded runtime's node loops (and reuses :mod:`repro.core.nodes`
+unmodified); only the transport differs: frames over sockets instead of
+in-process queues, and lifecycle/metric frames to the supervising process
+over a persistent control connection.
+
+Every node rebuilds the scenario's workload from the spec it receives —
+datasets, partitions, model factory, attacks, adversary, fault controller —
+using exactly the seed constants the other runtimes use (loader
+``seed+1000+i``, worker rng ``seed+2000+i``, server rng ``seed+3000+i``),
+which is what makes the cross-runtime loss-trajectory equivalence hold.
+
+Exit codes (collected by the supervisor):
+
+====  ======================================================
+0     clean shutdown
+11    could not bind the assigned listener address
+12    invalid configuration on stdin
+13    debug hook ``die_before_ready`` (tests only)
+14    unrecoverable run error (details travel in an ERROR frame)
+====  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Dict, List, Optional
+
+import numpy as np
+
+EXIT_OK = 0
+EXIT_BIND_FAILED = 11
+EXIT_CONFIG_INVALID = 12
+EXIT_DEBUG_DIED = 13
+EXIT_RUN_FAILED = 14
+
+#: wall-clock seconds one unit of profile delay_multiplier excess adds
+#: (same constant as the threaded runtime)
+HETERO_STRAGGLER_UNIT = 0.002
+
+
+class _ControlChannel:
+    """Persistent frame connection to the supervisor (thread-safe writes)."""
+
+    def __init__(self, sock: socket.socket, node_id: str) -> None:
+        from repro.runtime.cluster.protocol import send_frame
+
+        self._sock = sock
+        self._node_id = node_id
+        self._send_frame = send_frame
+        self._lock = threading.Lock()
+
+    def send(self, kind: str, step: int = -1, payload=None,
+             **meta) -> None:
+        from repro.runtime.cluster.protocol import Frame
+
+        frame = Frame(kind=kind, sender=self._node_id,
+                      recipient="supervisor", step=step, payload=payload,
+                      meta=meta)
+        with self._lock:
+            self._send_frame(self._sock, frame)
+
+
+class ClusterNodeProcess:
+    """Shared machinery of :class:`ClusterWorkerProcess` /
+    :class:`ClusterServerProcess`: workload construction, the control
+    channel, fault bookkeeping, and the readiness handshake."""
+
+    def __init__(self, config: Dict) -> None:
+        from repro.campaign.spec import ScenarioSpec
+
+        self.node_id: str = config["node_id"]
+        self.role: str = config["role"]
+        self.index: int = int(config["index"])
+        self.num_steps: int = int(config["num_steps"])
+        self.resume_step: int = int(config.get("resume_step", 0))
+        self.snapshot = config.get("snapshot")
+        self.trace_enabled: bool = bool(config.get("trace", False))
+        self.send_snapshots: bool = bool(config.get("send_snapshots", False))
+        self.debug: Dict = config.get("debug") or {}
+        self.address = config["address"]
+        self.control_address = config["control"]
+        self.spec = ScenarioSpec.from_dict(config["spec"])
+        self.control: Optional[_ControlChannel] = None
+        self.transport = None
+        self._started = threading.Event()
+        self._shutdown = threading.Event()
+        self._addresses: Dict[str, Dict] = {}
+        self._start_time = 0.0
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Workload construction (mirrors ThreadedClusterRuntime.__init__)
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        from repro.adversary.engine import wire_attacks
+        from repro.aggregation import get_rule
+        from repro.core.nodes import ServerNode, WorkerNode
+        from repro.data.loader import DataLoader, partition_dataset
+        from repro.experiments.common import build_scale_bundle
+        from repro.faults import FaultController
+        from repro.hetero import DEFAULT_PROFILE
+
+        spec = self.spec
+        self.config = spec.cluster_config()
+        train, _test, model_fn, schedule = build_scale_bundle(spec.to_scale())
+        self.schedule = schedule
+        worker_attack = (spec.worker_attack.build()
+                         if spec.worker_attack else None)
+        server_attack = (spec.server_attack.build()
+                         if spec.server_attack else None)
+        self.adversary = spec.adversary.build() if spec.adversary else None
+
+        (self.coordinator, worker_attacks, server_attacks,
+         self.attacking_workers, self.attacking_servers) = wire_attacks(
+            config=self.config, seed=spec.seed,
+            worker_attack=worker_attack,
+            num_attacking_workers=spec.resolved_num_attacking_workers(),
+            server_attack=server_attack,
+            num_attacking_servers=spec.resolved_num_attacking_servers(),
+            gradient_rule_name=spec.gradient_rule, adversary=self.adversary)
+
+        worker_ids = self.config.worker_ids()
+        server_ids = self.config.server_ids()
+        self.faults = None
+        if spec.faults:
+            spec.faults.validate(known_nodes=worker_ids + server_ids)
+            self.faults = FaultController(spec.faults, seed=spec.seed)
+
+        hetero = spec.hetero
+        profiles = [hetero.profile_for(i) if hetero else DEFAULT_PROFILE
+                    for i in range(len(worker_ids))]
+        self.straggler_sleep = 0.0
+
+        if self.role == "worker":
+            shards = partition_dataset(train, len(worker_ids),
+                                       sharding=spec.sharding, hetero=hetero,
+                                       seed=spec.seed)
+            profile = profiles[self.index]
+            if profile.delay_multiplier != 1.0:
+                self.straggler_sleep = ((profile.delay_multiplier - 1.0)
+                                        * HETERO_STRAGGLER_UNIT)
+            loader = DataLoader(shards[self.index],
+                                batch_size=profile.batch_size or spec.batch_size,
+                                seed=spec.seed + 1000 + self.index)
+            self.node = WorkerNode(
+                node_id=self.node_id, model=model_fn(), loader=loader,
+                model_aggregator=get_rule(
+                    spec.model_rule,
+                    num_byzantine=self.config.num_byzantine_servers),
+                attack=worker_attacks[self.node_id],
+                seed=spec.seed + 2000 + self.index,
+                local_steps=profile.local_steps, schedule=schedule)
+        else:
+            self.node = ServerNode(
+                node_id=self.node_id, model=model_fn(),
+                gradient_aggregator=get_rule(
+                    spec.gradient_rule,
+                    num_byzantine=self.config.num_byzantine_workers),
+                model_aggregator=get_rule(
+                    spec.model_rule,
+                    num_byzantine=self.config.num_byzantine_servers),
+                schedule=schedule, attack=server_attacks[self.node_id],
+                seed=spec.seed + 3000 + self.index)
+
+        if self.faults is not None:
+            self.node.attack = self.faults.gate_attack(self.node_id,
+                                                       self.node.attack)
+
+        # Observation board: only the Byzantine worker processes read
+        # plans, so only they pay for one.  Honest workers *feed* the
+        # boards with OBSERVE frames instead (see the worker loop).
+        self._board = None
+        if self.adversary is not None and self.adversary.requires_observation \
+                and self.attacking_workers \
+                and self.node_id in self.attacking_workers:
+            self.coordinator.enable_board(self._expected_publishers,
+                                          timeout=spec.quorum_timeout)
+            self._board = self.coordinator
+
+    def _expected_publishers(self, step: int) -> List[str]:
+        """Honest workers whose gradients are observable at ``step`` —
+        the same participation fixpoint the threaded board uses."""
+        honest = [worker_id for worker_id in self.config.worker_ids()
+                  if worker_id not in self.attacking_workers]
+        if self.faults is None:
+            return honest
+        workers, _ = self.faults.participating_nodes(
+            self.config.worker_ids(), self.config.server_ids(),
+            self.config.model_quorum, self.config.gradient_quorum, step)
+        participating = set(workers)
+        return [worker_id for worker_id in honest
+                if worker_id in participating]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Bind the listener, handshake with the supervisor, await START."""
+        import os
+
+        from repro.runtime.cluster.protocol import recv_frame
+        from repro.runtime.cluster.transport import (
+            SocketTransport,
+            bind_listener,
+            connect,
+        )
+
+        try:
+            listener = bind_listener(self.address)
+        except OSError as exc:
+            print(f"{self.node_id}: cannot bind {self.address}: {exc}",
+                  file=sys.stderr, flush=True)
+            sys.exit(EXIT_BIND_FAILED)
+
+        on_observe = None
+        if self._board is not None:
+            board = self._board
+
+            def on_observe(sender: str, step: int,
+                           gradient: np.ndarray) -> None:
+                board.publish(sender, step, gradient)
+
+        self.transport = SocketTransport(
+            self.node_id, listener, jitter=self.spec.jitter,
+            seed=self.spec.seed + 4000 + self.index,
+            fault_controller=self.faults,
+            send_deadline=self.spec.quorum_timeout, on_observe=on_observe)
+
+        control_sock = connect(self.control_address, timeout=30.0)
+        self.control = _ControlChannel(control_sock, self.node_id)
+        reader = threading.Thread(target=self._control_loop,
+                                  args=(control_sock, recv_frame),
+                                  daemon=True, name="control")
+        reader.start()
+        self.control.send("ready", address=self.address, pid=os.getpid(),
+                          role=self.role)
+        if self.debug.get("hang_after_ready"):
+            while True:  # probe-timeout escalation test: go silent
+                time.sleep(3600)
+        if not self._started.wait(timeout=120.0):
+            raise RuntimeError(f"{self.node_id} never received START")
+        self.transport.set_addresses(self._addresses)
+        self._start_time = time.perf_counter()
+
+    def _control_loop(self, sock: socket.socket, recv_frame) -> None:
+        while True:
+            try:
+                frame = recv_frame(sock)
+            except OSError:
+                return
+            if frame is None:
+                return
+            if frame.kind == "start":
+                self._addresses = frame.meta["addresses"]
+                self._started.set()
+            elif frame.kind == "ping":
+                if not self.debug.get("hang_after_ready"):
+                    self.control.send("pong")
+            elif frame.kind == "shutdown":
+                self._shutdown.set()
+
+    def _maybe_straggle(self) -> None:
+        if self.straggler_sleep > 0:
+            time.sleep(self.straggler_sleep)
+
+    def _crashed_now(self, step: int) -> bool:
+        return (self.faults is not None
+                and not self.faults.node_alive(self.node_id, step))
+
+    def _park_for_kill(self, step: int) -> None:
+        """Report the scheduled crash, then wait for the supervisor's
+        SIGKILL — the process really dies; a later recover event makes the
+        supervisor respawn a fresh incarnation from this step's state."""
+        self.control.send("crashed", step=step)
+        while True:
+            time.sleep(3600)
+
+    def _sits_out(self, step: int) -> bool:
+        """Non-crash sit-out: the participation fixpoint leaves this node
+        short of a quorum at ``step`` (same rule as the other runtimes)."""
+        if self.faults is None:
+            return False
+        workers, servers = self.faults.participating_nodes(
+            self.config.worker_ids(), self.config.server_ids(),
+            self.config.model_quorum, self.config.gradient_quorum, step)
+        if self.node_id in workers or self.node_id in servers:
+            return False
+        self.transport.abandon_step(step)
+        return True
+
+    def _participated(self, step: int) -> bool:
+        """Whether this node took part in an already-elapsed step (used by
+        respawned workers to fast-forward their data stream)."""
+        if self.faults is None:
+            return True
+        workers, servers = self.faults.participating_nodes(
+            self.config.worker_ids(), self.config.server_ids(),
+            self.config.model_quorum, self.config.gradient_quorum, step)
+        return self.node_id in workers or self.node_id in servers
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        from repro.obs.tracer import Tracer, get_tracer, use_tracer
+
+        self._fast_forward()
+        if self.trace_enabled:
+            tracer = Tracer(capacity=20_000)
+            with use_tracer(tracer):
+                self._loop(get_tracer())
+            self.control.send(
+                "trace",
+                events=[event.to_dict() for event in tracer.events()],
+                counters=tracer.counters(), summary=tracer.summary())
+        else:
+            self._loop(get_tracer())
+        self._finish()
+        self._shutdown.wait(timeout=30.0)
+        self.transport.close()
+
+    def _fast_forward(self) -> None:
+        raise NotImplementedError
+
+    def _loop(self, tracer) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        raise NotImplementedError
+
+
+class ClusterWorkerProcess(ClusterNodeProcess):
+    """One worker as an OS process (phase 1 of every protocol round)."""
+
+    def _fast_forward(self) -> None:
+        # A respawned worker replays its data stream: the dead incarnation
+        # consumed one batch per local step for every step it participated
+        # in, and the loader's shuffling is a pure function of its seed, so
+        # skipping the same number of batches restores the exact stream
+        # position.  (Workers carry no other per-step state — parameters
+        # arrive fresh from the servers each round.)
+        for step in range(self.resume_step):
+            if self._participated(step):
+                for _ in range(self.node.local_steps):
+                    self.node.loader.next_batch()
+
+    def _loop(self, tracer) -> None:
+        from repro.network.message import MessageKind
+
+        worker = self.node
+        server_ids = self.config.server_ids()
+        quorum_timeout = self.spec.quorum_timeout
+        for step in range(self.resume_step, self.num_steps):
+            if self.faults is not None:
+                self.faults.on_step(step)
+            if self._crashed_now(step):
+                self._park_for_kill(step)
+            if self._sits_out(step):
+                continue
+            with tracer.span("clu.worker.gather", step=step,
+                             node=worker.node_id):
+                models = self.transport.wait_quorum(
+                    MessageKind.MODEL_TO_WORKER, step,
+                    quorum=self.config.model_quorum, timeout=quorum_timeout)
+            with tracer.span("clu.worker.compute", step=step,
+                             node=worker.node_id):
+                result = worker.compute_gradient(models, step)
+            if not worker.is_byzantine:
+                if self.adversary is not None \
+                        and self.adversary.requires_observation \
+                        and self.attacking_workers \
+                        and self.adversary.observation_needed(step):
+                    # The omniscient adversary reads this worker's memory:
+                    # copy the honest gradient to every Byzantine worker's
+                    # observation board (each controlled process rebuilds
+                    # the identical round plan from the same observations).
+                    for target in self.attacking_workers:
+                        self.transport.send_observation(target, step,
+                                                        result.gradient)
+                self.control.send("loss", step=step, loss=float(result.loss))
+            self._maybe_straggle()
+            for server_id in server_ids:
+                payload = worker.outgoing_gradient(result, step,
+                                                   recipient=server_id)
+                self.transport.send(server_id,
+                                    MessageKind.GRADIENT_TO_SERVER, step,
+                                    payload)
+
+    def _finish(self) -> None:
+        self.control.send("done")
+
+
+class ClusterServerProcess(ClusterNodeProcess):
+    """One parameter server as an OS process (phases 1–3 of every round)."""
+
+    def _fast_forward(self) -> None:
+        # A respawned server resumes from its own last snapshot — the
+        # stale parameters its dead incarnation last held, exactly like a
+        # recovering replica in the other runtimes; the phase-3 median
+        # re-contracts it toward the live majority.
+        if self.snapshot is not None:
+            self.node.model.set_flat_parameters(
+                np.asarray(self.snapshot, dtype=np.float64))
+
+    def _loop(self, tracer) -> None:
+        from repro.network.message import MessageKind
+
+        server = self.node
+        worker_ids = self.config.worker_ids()
+        server_ids = self.config.server_ids()
+        quorum_timeout = self.spec.quorum_timeout
+        for step in range(self.resume_step, self.num_steps):
+            if self.faults is not None:
+                self.faults.on_step(step)
+            if self._crashed_now(step):
+                self._park_for_kill(step)
+            if self._sits_out(step):
+                continue
+            self._maybe_straggle()
+            # Phase 1: broadcast the current model to the workers.
+            with tracer.span("clu.server.broadcast", step=step,
+                             node=server.node_id):
+                for worker_id in worker_ids:
+                    payload = server.outgoing_model(step, recipient=worker_id)
+                    self.transport.send(worker_id,
+                                        MessageKind.MODEL_TO_WORKER, step,
+                                        payload)
+            # Phase 2: gather gradients and update.
+            with tracer.span("clu.server.gather", step=step,
+                             node=server.node_id):
+                gradients = self.transport.wait_quorum(
+                    MessageKind.GRADIENT_TO_SERVER, step,
+                    quorum=self.config.gradient_quorum,
+                    timeout=quorum_timeout)
+            with tracer.span("clu.server.aggregate", step=step,
+                             node=server.node_id):
+                server.apply_gradients(gradients, step)
+            # Phase 3: exchange models between servers, take the median.
+            with tracer.span("clu.server.apply", step=step,
+                             node=server.node_id):
+                for server_id in server_ids:
+                    payload = server.outgoing_model(step, recipient=server_id) \
+                        if server_id != server.node_id \
+                        else server.current_parameters()
+                    self.transport.send(server_id,
+                                        MessageKind.MODEL_TO_SERVER, step,
+                                        payload)
+                models = self.transport.wait_quorum(
+                    MessageKind.MODEL_TO_SERVER, step,
+                    quorum=self.config.model_quorum, timeout=quorum_timeout)
+                server.merge_models(models)
+            self.control.send("step_time", step=step,
+                              elapsed=time.perf_counter() - self._start_time)
+            if self.send_snapshots:
+                self.control.send("snapshot", step=step,
+                                  payload=server.current_parameters())
+
+    def _finish(self) -> None:
+        self.control.send("done", payload=self.node.current_parameters())
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+def run_node(config: Dict) -> int:
+    if config.get("debug", {}).get("die_before_ready"):
+        return EXIT_DEBUG_DIED
+    try:
+        node_class = (ClusterWorkerProcess if config["role"] == "worker"
+                      else ClusterServerProcess)
+        node = node_class(config)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"invalid node config: {exc}", file=sys.stderr, flush=True)
+        traceback.print_exc()
+        return EXIT_CONFIG_INVALID
+    try:
+        node.start()
+        node.run()
+        return EXIT_OK
+    except SystemExit:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - reported to the supervisor
+        try:
+            if node.control is not None:
+                node.control.send("error",
+                                  error=f"{type(exc).__name__}: {exc}",
+                                  traceback=traceback.format_exc())
+        except OSError:
+            pass
+        print(f"{config.get('node_id', '?')} failed: {exc}",
+              file=sys.stderr, flush=True)
+        traceback.print_exc()
+        return EXIT_RUN_FAILED
+
+
+def main() -> int:
+    try:
+        config = json.load(sys.stdin)
+    except json.JSONDecodeError as exc:
+        print(f"invalid node config JSON: {exc}", file=sys.stderr, flush=True)
+        return EXIT_CONFIG_INVALID
+    return run_node(config)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

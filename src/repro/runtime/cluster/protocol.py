@@ -1,0 +1,176 @@
+"""Length-prefixed binary frame protocol of the process cluster runtime.
+
+One :class:`Frame` is one unit of communication between cluster processes —
+a protocol payload (model vector, gradient), a lifecycle/control message
+(READY, START, PING), or a metric/trace record travelling back to the
+supervisor.  The wire layout is deliberately trivial::
+
+    [4 bytes  big-endian]  header length H
+    [H bytes]              header JSON (UTF-8)
+    [8 bytes  big-endian]  payload byte length P  (0 = no payload)
+    [P bytes]              raw float64 vector (C order)
+
+The header carries ``kind``/``sender``/``recipient``/``step`` plus a small
+JSON ``meta`` mapping; the payload is reserved for the numeric vectors so
+they cross the socket without JSON encoding.  Data-plane kinds reuse the
+:class:`repro.network.message.MessageKind` values verbatim, so the cluster
+runtime speaks the same protocol vocabulary as the simulator and the
+threaded runtime.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.network.message import MessageKind
+
+__all__ = [
+    "CONTROL_KINDS",
+    "DATA_KINDS",
+    "Frame",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "recv_frame",
+    "send_frame",
+]
+
+#: hard ceiling on one frame (header + payload); a malformed length prefix
+#: must not make a reader allocate gigabytes
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER_LEN = struct.Struct("!I")
+_PAYLOAD_LEN = struct.Struct("!Q")
+
+#: protocol payloads — the same vocabulary the other runtimes use
+DATA_KINDS = frozenset(kind.value for kind in MessageKind)
+
+#: lifecycle / metric frames (node ⇄ supervisor, plus OBSERVE on the data
+#: plane: honest gradients copied to the adversary's controlled nodes)
+CONTROL_KINDS = frozenset({
+    "ready",      # node → supervisor: listener bound, address in meta
+    "start",      # supervisor → node: full address map, begin the run
+    "ping",       # supervisor → node: health probe
+    "pong",       # node → supervisor: probe reply
+    "loss",       # worker → supervisor: per-step training loss
+    "step_time",  # server → supervisor: per-step wall-clock watermark
+    "snapshot",   # server → supervisor: current parameters (respawn seed)
+    "crashed",    # node → supervisor: fault schedule says I crash now
+    "observe",    # honest worker → Byzantine worker: gradient copy
+    "trace",      # node → supervisor: buffered trace records
+    "done",       # node → supervisor: run finished (servers attach params)
+    "error",      # node → supervisor: unrecoverable node failure
+    "shutdown",   # supervisor → node: exit cleanly
+})
+
+
+class FrameError(RuntimeError):
+    """A frame violated the wire format (bad length, bad kind, truncation)."""
+
+
+@dataclass
+class Frame:
+    """One decoded protocol frame."""
+
+    kind: str
+    sender: str = ""
+    recipient: str = ""
+    step: int = -1
+    payload: Optional[np.ndarray] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in DATA_KINDS and self.kind not in CONTROL_KINDS:
+            raise FrameError(f"unknown frame kind '{self.kind}'")
+        if self.payload is not None:
+            self.payload = np.ascontiguousarray(self.payload,
+                                                dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    def encode(self) -> bytes:
+        """Serialise to the length-prefixed wire form."""
+        header = json.dumps(
+            {"kind": self.kind, "sender": self.sender,
+             "recipient": self.recipient, "step": self.step,
+             "meta": self.meta},
+            separators=(",", ":")).encode("utf-8")
+        payload = b"" if self.payload is None else self.payload.tobytes()
+        total = len(header) + len(payload)
+        if total > MAX_FRAME_BYTES:
+            raise FrameError(f"frame of {total} bytes exceeds the "
+                             f"{MAX_FRAME_BYTES}-byte limit")
+        return (_HEADER_LEN.pack(len(header)) + header
+                + _PAYLOAD_LEN.pack(len(payload)) + payload)
+
+    @classmethod
+    def decode(cls, header: bytes, payload: bytes) -> "Frame":
+        try:
+            fields = json.loads(header.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FrameError(f"undecodable frame header: {exc}") from exc
+        vector = None
+        if payload:
+            if len(payload) % 8:
+                raise FrameError(f"payload of {len(payload)} bytes is not "
+                                 f"a whole float64 vector")
+            vector = np.frombuffer(payload, dtype=np.float64).copy()
+        try:
+            return cls(kind=fields["kind"], sender=fields.get("sender", ""),
+                       recipient=fields.get("recipient", ""),
+                       step=int(fields.get("step", -1)), payload=vector,
+                       meta=fields.get("meta") or {})
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FrameError(f"malformed frame header: {exc}") from exc
+
+
+# --------------------------------------------------------------------------- #
+# Blocking socket I/O
+# --------------------------------------------------------------------------- #
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean EOF at a boundary."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count and not chunks:
+                return None  # peer closed between frames — normal shutdown
+            raise FrameError(f"connection closed {remaining} byte(s) short "
+                             f"of a complete frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, frame: Frame) -> None:
+    """Write one frame to a connected socket."""
+    sock.sendall(frame.encode())
+
+
+def recv_frame(sock: socket.socket) -> Optional[Frame]:
+    """Read one frame from a connected socket; ``None`` on clean EOF."""
+    prefix = _recv_exact(sock, _HEADER_LEN.size)
+    if prefix is None:
+        return None
+    (header_len,) = _HEADER_LEN.unpack(prefix)
+    if header_len > MAX_FRAME_BYTES:
+        raise FrameError(f"header length {header_len} exceeds the frame limit")
+    header = _recv_exact(sock, header_len)
+    if header is None:
+        raise FrameError("connection closed inside a frame header")
+    prefix = _recv_exact(sock, _PAYLOAD_LEN.size)
+    if prefix is None:
+        raise FrameError("connection closed before the payload length")
+    (payload_len,) = _PAYLOAD_LEN.unpack(prefix)
+    if header_len + payload_len > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {header_len + payload_len} bytes "
+                         f"exceeds the {MAX_FRAME_BYTES}-byte limit")
+    payload = _recv_exact(sock, payload_len) if payload_len else b""
+    if payload is None:
+        raise FrameError("connection closed inside a frame payload")
+    return Frame.decode(header, payload)

@@ -5,6 +5,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config) -> None:
+    # The socket/cluster tests carry @pytest.mark.timeout(...) so a wedged
+    # process cannot hang CI (pytest-timeout is in the dev requirements).
+    # When the plugin is absent the marker must still be registered — the
+    # timeouts then simply don't enforce, they never break collection.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test timeout, enforced by pytest-timeout")
+
 from repro.data import make_blobs_dataset
 from repro.nn import build_model
 from repro.nn.schedules import ConstantSchedule

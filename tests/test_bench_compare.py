@@ -300,3 +300,26 @@ class TestTraceAnnotation:
         err = capsys.readouterr().err
         assert "[dominant phase: seq.step.compute (100% of traced time)]" \
             in err
+
+    def test_multi_source_cluster_trace_not_double_counted(self, tmp_path):
+        from repro.benchtools.compare import load_trace_summary
+
+        # merged cluster traces carry a node's raw spans AND its summary
+        # event under the same `source`: count the raw spans only
+        path = self._jsonl(tmp_path / "cluster.jsonl", [
+            {"name": "clu.worker.compute", "kind": "span", "ts": 0.0,
+             "dur": 1.0, "source": "worker/0"},
+            {"name": "cluster.node", "kind": "event", "ts": 1.0,
+             "source": "worker/0", "attrs": {"trace_summary": {
+                 "spans": {"clu.worker.compute":
+                           {"count": 1, "total_s": 1.0}}}}},
+            # an unseen source's summary still folds (its raw spans were
+            # dropped before reaching the merged file)
+            {"name": "cluster.node", "kind": "event", "ts": 1.0,
+             "source": "worker/9", "attrs": {"trace_summary": {
+                 "spans": {"clu.worker.compute":
+                           {"count": 2, "total_s": 2.0}}}}},
+        ])
+        summary = load_trace_summary(path)
+        assert summary["spans"]["clu.worker.compute"] == \
+            {"count": 3, "total_s": 3.0}

@@ -1,0 +1,129 @@
+"""Wire-format tests for the cluster runtime's frame protocol."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.network.message import MessageKind
+from repro.runtime.cluster.protocol import (
+    CONTROL_KINDS,
+    DATA_KINDS,
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameError,
+    recv_frame,
+    send_frame,
+)
+
+
+def roundtrip(frame: Frame) -> Frame:
+    """Encode a frame, push it through a socketpair, decode it back."""
+    left, right = socket.socketpair()
+    try:
+        sender = threading.Thread(target=send_frame, args=(left, frame))
+        sender.start()
+        received = recv_frame(right)
+        sender.join()
+    finally:
+        left.close()
+        right.close()
+    assert received is not None
+    return received
+
+
+class TestFrame:
+    def test_payload_roundtrip(self):
+        vector = np.arange(32, dtype=np.float64) / 7.0
+        frame = roundtrip(Frame(kind="gradient_to_server", sender="worker/0",
+                                recipient="ps/1", step=3, payload=vector,
+                                meta={"loss": 0.5}))
+        assert frame.kind == "gradient_to_server"
+        assert frame.sender == "worker/0"
+        assert frame.recipient == "ps/1"
+        assert frame.step == 3
+        assert frame.meta == {"loss": 0.5}
+        np.testing.assert_array_equal(frame.payload, vector)
+
+    def test_control_frame_without_payload(self):
+        frame = roundtrip(Frame(kind="ping", sender="supervisor",
+                                recipient="worker/2"))
+        assert frame.kind == "ping"
+        assert frame.payload is None
+
+    def test_payload_coerced_to_contiguous_float64(self):
+        frame = Frame(kind="loss", payload=[1, 2, 3])
+        assert frame.payload.dtype == np.float64
+        assert frame.payload.flags["C_CONTIGUOUS"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FrameError, match="unknown frame kind"):
+            Frame(kind="teleport")
+
+    def test_data_kinds_shared_with_message_vocabulary(self):
+        # the cluster runtime speaks the same protocol vocabulary as the
+        # simulator / threaded runtimes — MessageKind values verbatim
+        assert DATA_KINDS == frozenset(kind.value for kind in MessageKind)
+        assert not DATA_KINDS & CONTROL_KINDS
+
+    def test_oversized_frame_rejected_on_encode(self, monkeypatch):
+        import repro.runtime.cluster.protocol as protocol
+
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(FrameError, match="exceeds"):
+            Frame(kind="model_to_worker", payload=np.ones(32)).encode()
+
+
+class TestRecvFrame:
+    def test_clean_eof_between_frames_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncation_inside_header_raises(self):
+        left, right = socket.socketpair()
+        try:
+            encoded = Frame(kind="pong", sender="worker/0").encode()
+            left.sendall(encoded[:6])  # length prefix + 2 header bytes
+            left.close()
+            with pytest.raises(FrameError, match="closed"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_truncation_inside_payload_raises(self):
+        left, right = socket.socketpair()
+        try:
+            encoded = Frame(kind="loss", payload=np.ones(16)).encode()
+            left.sendall(encoded[:-8])  # drop the last float64
+            left.close()
+            with pytest.raises(FrameError, match="closed"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_absurd_header_length_rejected_without_allocation(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack("!I", MAX_FRAME_BYTES + 1))
+            left.close()
+            with pytest.raises(FrameError, match="exceeds"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_misaligned_payload_rejected(self):
+        header = b'{"kind":"loss","sender":"","recipient":"","step":0,"meta":{}}'
+        with pytest.raises(FrameError, match="whole float64"):
+            Frame.decode(header, b"\x00" * 7)
+
+    def test_undecodable_header_rejected(self):
+        with pytest.raises(FrameError, match="undecodable"):
+            Frame.decode(b"\xff\xfe not json", b"")

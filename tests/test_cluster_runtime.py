@@ -1,0 +1,163 @@
+"""Supervisor lifecycle tests: the edge paths of the process cluster.
+
+The happy path (spawn → ready → run → done) is covered by the tier-1
+equivalence suite; this file exercises the supervisor's failure machinery
+through the ``ClusterOptions`` test seams — debug hooks that make a node
+die before its readiness handshake or hang after it, address overrides
+that provoke bind conflicts — and the respawn path of recover events.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import tempfile
+
+import pytest
+
+from repro.campaign.spec import ScenarioSpec
+from repro.faults import FaultEvent, FaultSchedule
+from repro.runtime.cluster import (
+    ClusterOptions,
+    Supervisor,
+    SupervisorError,
+    cluster_available,
+    unix_sockets_available,
+)
+
+needs_sockets = pytest.mark.skipif(
+    not cluster_available(), reason="host cannot bind sockets")
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    base = dict(name="cluster-edge", trainer="guanyu_threaded",
+                num_workers=4, num_servers=3,
+                declared_byzantine_workers=0, declared_byzantine_servers=0,
+                model_quorum=3, gradient_quorum=4,
+                gradient_rule="median", model_rule="median",
+                num_steps=2, seed=9, quorum_timeout=30.0)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestConstruction:
+    def test_rejects_non_threaded_trainers(self):
+        with pytest.raises(ValueError, match="guanyu_threaded"):
+            Supervisor(small_spec(trainer="guanyu", runtime=None))
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            Supervisor(small_spec(),
+                       options=ClusterOptions(transport="carrier-pigeon"))
+
+    def test_rejects_nonpositive_steps(self):
+        with pytest.raises(ValueError, match="num_steps"):
+            Supervisor(small_spec(), num_steps=0)
+
+
+@needs_sockets
+@pytest.mark.timeout(180)
+class TestEdgePaths:
+    def test_node_dies_before_readiness(self):
+        options = ClusterOptions(
+            debug_hooks={"worker/2": {"die_before_ready": True}},
+            shutdown_timeout=2.0)
+        supervisor = Supervisor(small_spec(), options=options)
+        with pytest.raises(SupervisorError, match="worker/2"):
+            supervisor.run()
+        node = supervisor.report()["nodes"]["worker/2"]
+        assert node["state"] == "failed"
+        assert node["exit_codes"] == [13]  # EXIT_DEBUG_DIED
+
+    def test_address_already_bound(self, tmp_path):
+        # pre-bind worker/0's listener address so its bind must fail
+        if unix_sockets_available():
+            path = str(tmp_path / "taken.sock")
+            squatter = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            squatter.bind(path)
+            address = {"family": "unix", "path": path}
+        else:
+            squatter = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            squatter.bind(("127.0.0.1", 0))
+            address = {"family": "tcp", "host": "127.0.0.1",
+                       "port": squatter.getsockname()[1]}
+        squatter.listen(1)
+        try:
+            options = ClusterOptions(addresses={"worker/0": address},
+                                     shutdown_timeout=2.0)
+            supervisor = Supervisor(small_spec(), options=options)
+            with pytest.raises(SupervisorError, match="worker/0"):
+                supervisor.run()
+            node = supervisor.report()["nodes"]["worker/0"]
+            assert node["state"] == "failed"
+            assert node["exit_codes"] == [11]  # EXIT_BIND_FAILED
+        finally:
+            squatter.close()
+
+    def test_probe_timeout_escalates_to_kill(self):
+        # worker/1 completes the readiness handshake, then never answers a
+        # PING again: the supervisor must declare it hung and SIGKILL it
+        options = ClusterOptions(
+            debug_hooks={"worker/1": {"hang_after_ready": True}},
+            probe_interval=0.2, probe_timeout=2.0, shutdown_timeout=2.0)
+        supervisor = Supervisor(small_spec(), options=options)
+        with pytest.raises(SupervisorError, match="worker/1"):
+            supervisor.run()
+        node = supervisor.report()["nodes"]["worker/1"]
+        assert node["state"] == "probe-timeout"
+        assert node["exit_codes"] == [-9]
+
+    def test_respawn_after_recover(self):
+        faults = FaultSchedule(events=[
+            FaultEvent(step=1, kind="crash", nodes=["worker/1"]),
+            FaultEvent(step=3, kind="recover", nodes=["worker/1"])])
+        supervisor = Supervisor(small_spec(num_steps=4, faults=faults))
+        history = supervisor.run()
+        assert len(history.records) == 4
+        node = supervisor.report()["nodes"]["worker/1"]
+        assert node["state"] == "done"
+        assert node["respawns"] == 1
+        assert node["exit_codes"] == [-9, 0]
+        # the killed incarnation's PID is really gone
+        with pytest.raises(ProcessLookupError):
+            os.kill(node["pids"][0], 0)
+
+    def test_byzantine_node_cannot_be_respawned(self):
+        # an attacking node's adversary rng state dies with its process;
+        # respawning it would silently change the attack — refuse loudly
+        # attacking nodes occupy the *last* ids: worker/5 of 6 here
+        faults = FaultSchedule(events=[
+            FaultEvent(step=1, kind="crash", nodes=["worker/5"]),
+            FaultEvent(step=3, kind="recover", nodes=["worker/5"])])
+        spec = small_spec(
+            num_workers=6, declared_byzantine_workers=1, gradient_quorum=5,
+            num_steps=4, faults=faults,
+            worker_attack={"name": "sign_flip", "kwargs": {}})
+        supervisor = Supervisor(spec,
+                                options=ClusterOptions(shutdown_timeout=2.0))
+        with pytest.raises(SupervisorError, match="[Bb]yzantine"):
+            supervisor.run()
+
+    def test_tcp_transport_runs(self):
+        supervisor = Supervisor(small_spec(num_steps=1),
+                                options=ClusterOptions(transport="tcp"))
+        history = supervisor.run()
+        assert len(history.records) == 1
+        report = supervisor.report()
+        assert report["transport"] == "tcp"
+        assert all(node["state"] == "done"
+                   for node in report["nodes"].values())
+        assert all(node["address"]["family"] == "tcp"
+                   for node in report["nodes"].values())
+
+
+@needs_sockets
+@pytest.mark.timeout(120)
+class TestClusterAvailability:
+    def test_probe_does_not_leak_temp_dirs(self):
+        before = {entry for entry in os.listdir(tempfile.gettempdir())
+                  if entry.startswith("repro-cluster-probe-")}
+        assert cluster_available()
+        after = {entry for entry in os.listdir(tempfile.gettempdir())
+                 if entry.startswith("repro-cluster-probe-")}
+        assert after == before

@@ -225,6 +225,25 @@ class TestTraceEvent:
         assert payload == {"name": "n", "kind": "event", "ts": 0.0}
         assert TraceEvent.from_dict(payload) == event
 
+    def test_source_round_trips_and_is_absent_when_none(self):
+        # multi-process (cluster) traces tag each record with its origin
+        # process; single-process records must serialise exactly as before
+        tagged = TraceEvent(name="n", kind="span", ts=1.0, dur=0.1,
+                            node="worker/0", source="worker/0")
+        payload = tagged.to_dict()
+        assert payload["source"] == "worker/0"
+        assert TraceEvent.from_dict(payload) == tagged
+        assert "source" not in TraceEvent(name="n").to_dict()
+
+    def test_source_survives_jsonl(self, tmp_path):
+        tracer = Tracer()
+        tracer.extend([TraceEvent(name="clu.step", kind="span", ts=0.0,
+                                  dur=0.5, source="ps/1")])
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        (record,) = list(read_jsonl(str(path)))
+        assert record.source == "ps/1"
+
 
 class TestLogging:
     def test_configures_level_and_single_handler(self):

@@ -103,3 +103,63 @@ class TestTables:
         assert "updates_per_s" in table
         assert "time_to_target" in table
         assert "sys" in table
+
+
+class TestPhaseBreakdown:
+    @staticmethod
+    def _span(name, dur, source=None):
+        from repro.obs.tracer import TraceEvent
+
+        return TraceEvent(name=name, kind="span", ts=0.0, dur=dur,
+                          source=source)
+
+    @staticmethod
+    def _summary_event(spans, source=None):
+        from repro.obs.tracer import TraceEvent
+
+        return TraceEvent(name="cluster.node", kind="event", source=source,
+                          attrs={"trace_summary": {"spans": spans}})
+
+    def test_folds_pooled_summaries_without_raw_spans(self):
+        from repro.plotting.timeline import phase_breakdown_rows
+
+        rows = phase_breakdown_rows([
+            self._summary_event({"phase.a": {"count": 2, "total_s": 1.0}})])
+        (row,) = rows
+        assert row["phase"] == "phase.a"
+        assert row["count"] == 2
+
+    def test_merged_multi_source_trace_is_not_double_counted(self):
+        from repro.plotting.timeline import phase_breakdown_rows
+
+        # a cluster trace carries each node's raw spans AND a per-node
+        # summary event, all tagged with the same source: the summary must
+        # be skipped, not added on top
+        records = [
+            self._span("clu.worker.compute", 1.0, source="worker/0"),
+            self._span("clu.worker.compute", 1.0, source="worker/1"),
+            self._summary_event({"clu.worker.compute":
+                                 {"count": 1, "total_s": 1.0}},
+                                source="worker/0"),
+            self._summary_event({"clu.worker.compute":
+                                 {"count": 1, "total_s": 1.0}},
+                                source="worker/1"),
+        ]
+        (row,) = phase_breakdown_rows(records)
+        assert row["count"] == 2
+        assert row["total_s"] == pytest.approx(2.0)
+
+    def test_summary_from_an_unseen_source_still_folds(self):
+        from repro.plotting.timeline import phase_breakdown_rows
+
+        # a process whose raw spans were dropped (ring-buffer overflow)
+        # still contributes through its summary
+        records = [
+            self._span("clu.worker.compute", 1.0, source="worker/0"),
+            self._summary_event({"clu.worker.compute":
+                                 {"count": 3, "total_s": 3.0}},
+                                source="worker/7"),
+        ]
+        (row,) = phase_breakdown_rows(records)
+        assert row["count"] == 4
+        assert row["total_s"] == pytest.approx(4.0)
