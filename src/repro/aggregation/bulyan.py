@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.aggregation.base import GradientAggregationRule
 from repro.aggregation.krum import Krum
+from repro.kernels import active_backend
 
 
 class Bulyan(GradientAggregationRule):
@@ -51,11 +52,12 @@ class Bulyan(GradientAggregationRule):
     @staticmethod
     def _trimmed_coordinate_mean(chosen: np.ndarray, beta: int) -> np.ndarray:
         """Per coordinate, average the ``beta`` values closest to the median."""
-        median = np.median(chosen, axis=0)
+        backend = active_backend()
+        median = backend.median(chosen, axis=0)
         distances = np.abs(chosen - median)
         closest = np.argsort(distances, axis=0, kind="stable")[:beta]
         columns = np.arange(chosen.shape[1])
-        return chosen[closest, columns].mean(axis=0)
+        return backend.mean(chosen[closest, columns], axis=0)
 
     def _beta(self, selection_size: int) -> int:
         return max(selection_size - 2 * self.num_byzantine, 1)
@@ -63,7 +65,7 @@ class Bulyan(GradientAggregationRule):
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         f = self.num_byzantine
         if f == 0:
-            return stacked.mean(axis=0)
+            return active_backend().mean(stacked, axis=0)
         chosen = stacked[self._select(stacked)]
         return self._trimmed_coordinate_mean(chosen, self._beta(chosen.shape[0]))
 
@@ -75,14 +77,15 @@ class Bulyan(GradientAggregationRule):
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
         f = self.num_byzantine
         if f == 0:
-            return stacked.mean(axis=1)
+            return active_backend().mean(stacked, axis=1)
         # The iterated selection is inherently sequential per replica (each
         # round's pool depends on the previous choice), so it stays a loop;
         # the final per-coordinate trim is vectorised over the replica axis.
+        backend = active_backend()
         chosen = np.stack([replica[self._select(replica)] for replica in stacked])
         beta = self._beta(chosen.shape[1])
-        median = np.median(chosen, axis=1)
+        median = backend.median(chosen, axis=1)
         distances = np.abs(chosen - median[:, None, :])
         closest = np.argsort(distances, axis=1, kind="stable")[:, :beta]
         gathered = np.take_along_axis(chosen, closest, axis=1)
-        return gathered.mean(axis=1)
+        return backend.mean(gathered, axis=1)

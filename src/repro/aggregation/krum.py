@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import GradientAggregationRule
+from repro.kernels import active_backend
 
 
 def pairwise_squared_distances(stacked: np.ndarray) -> np.ndarray:
@@ -28,12 +29,11 @@ def pairwise_squared_distances(stacked: np.ndarray) -> np.ndarray:
     ||x_i||² + ||x_j||² − 2⟨x_i, x_j⟩`` — instead of an ``O(n²)``
     Python-level loop.  Shared by Krum/Multi-Krum/Bulyan scoring and by the
     server-spread metric (:func:`repro.core.nodes.max_pairwise_distance`).
+    Computed by the active kernel backend (:mod:`repro.kernels`); the
+    result may be a view into backend scratch storage, valid until the
+    backend's next same-shape call.
     """
-    stacked = np.asarray(stacked, dtype=np.float64)
-    norms = np.einsum("ij,ij->i", stacked, stacked)
-    squared = norms[:, None] + norms[None, :] - 2.0 * (stacked @ stacked.T)
-    np.fill_diagonal(squared, 0.0)
-    return np.maximum(squared, 0.0)
+    return active_backend().pairwise_squared_distances(stacked)
 
 
 def pairwise_squared_distances_batched(stacked: np.ndarray) -> np.ndarray:
@@ -42,14 +42,9 @@ def pairwise_squared_distances_batched(stacked: np.ndarray) -> np.ndarray:
     Replica slice ``r`` is bit-identical to
     ``pairwise_squared_distances(stacked[r])``: the stacked matmul runs the
     same GEMM per slice and the broadcasting arithmetic is elementwise.
+    Backend-computed; the same scratch-storage caveat applies.
     """
-    stacked = np.asarray(stacked, dtype=np.float64)
-    norms = np.einsum("rij,rij->ri", stacked, stacked)
-    squared = (norms[:, :, None] + norms[:, None, :]
-               - 2.0 * (stacked @ stacked.transpose(0, 2, 1)))
-    diagonal = np.arange(stacked.shape[1])
-    squared[:, diagonal, diagonal] = 0.0
-    return np.maximum(squared, 0.0)
+    return active_backend().pairwise_squared_distances_batched(stacked)
 
 
 def krum_scores(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
@@ -67,8 +62,7 @@ def krum_scores(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
     squared = pairwise_squared_distances(stacked)
     # Exclude the vector itself (distance 0 on the diagonal) from neighbours.
     np.fill_diagonal(squared, np.inf)
-    nearest = np.sort(squared, axis=1)[:, :num_neighbors]
-    return nearest.sum(axis=1)
+    return active_backend().krum_neighbor_sums(squared, num_neighbors)
 
 
 def krum_scores_batched(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
@@ -82,8 +76,7 @@ def krum_scores_batched(stacked: np.ndarray, num_byzantine: int) -> np.ndarray:
     squared = pairwise_squared_distances_batched(stacked)
     diagonal = np.arange(n)
     squared[:, diagonal, diagonal] = np.inf
-    nearest = np.sort(squared, axis=2)[:, :, :num_neighbors]
-    return nearest.sum(axis=2)
+    return active_backend().krum_neighbor_sums_batched(squared, num_neighbors)
 
 
 class Krum(GradientAggregationRule):
@@ -156,7 +149,7 @@ class MultiKrum(GradientAggregationRule):
 
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         indices = self.selected_indices(stacked)
-        return stacked[indices].mean(axis=0)
+        return active_backend().mean(stacked[indices], axis=0)
 
     def selected_input_indices(self, stacked: np.ndarray) -> np.ndarray:
         return self.selected_indices(stacked)
@@ -170,4 +163,4 @@ class MultiKrum(GradientAggregationRule):
         size = self.selection_size(stacked.shape[1])
         indices = np.argsort(scores, axis=1, kind="stable")[:, :size]
         chosen = np.take_along_axis(stacked, indices[:, :, None], axis=1)
-        return chosen.mean(axis=1)
+        return active_backend().mean(chosen, axis=1)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import GradientAggregationRule
+from repro.kernels import active_backend
 
 
 class ArithmeticMean(GradientAggregationRule):
@@ -20,10 +21,10 @@ class ArithmeticMean(GradientAggregationRule):
     byzantine_resilient = False
 
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
-        return stacked.mean(axis=0)
+        return active_backend().mean(stacked, axis=0)
 
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
-        return stacked.mean(axis=1)
+        return active_backend().mean(stacked, axis=1)
 
 
 class TrimmedMean(GradientAggregationRule):
@@ -40,15 +41,9 @@ class TrimmedMean(GradientAggregationRule):
         return 2 * self.num_byzantine + 1
 
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
-        trim = self.num_byzantine
-        if trim == 0:
-            return stacked.mean(axis=0)
-        ordered = np.sort(stacked, axis=0)
-        return ordered[trim:-trim].mean(axis=0)
+        return active_backend().trimmed_mean(stacked, self.num_byzantine,
+                                             axis=0)
 
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
-        trim = self.num_byzantine
-        if trim == 0:
-            return stacked.mean(axis=1)
-        ordered = np.sort(stacked, axis=1)
-        return ordered[:, trim:-trim].mean(axis=1)
+        return active_backend().trimmed_mean(stacked, self.num_byzantine,
+                                             axis=1)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import GradientAggregationRule
+from repro.kernels import active_backend
 
 
 class CoordinateWiseMedian(GradientAggregationRule):
@@ -32,10 +33,10 @@ class CoordinateWiseMedian(GradientAggregationRule):
         return 2 * self.num_byzantine + 1
 
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
-        return np.median(stacked, axis=0)
+        return active_backend().median(stacked, axis=0)
 
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
-        return np.median(stacked, axis=1)
+        return active_backend().median(stacked, axis=1)
 
 
 class MarginalMedian(GradientAggregationRule):
@@ -54,15 +55,15 @@ class MarginalMedian(GradientAggregationRule):
 
     def _aggregate(self, stacked: np.ndarray) -> np.ndarray:
         if self.num_byzantine == 0:
-            return np.median(stacked, axis=0)
+            return active_backend().median(stacked, axis=0)
         norms = np.linalg.norm(stacked, axis=1)
         keep = np.argsort(norms)[: stacked.shape[0] - self.num_byzantine]
-        return np.median(stacked[keep], axis=0)
+        return active_backend().median(stacked[keep], axis=0)
 
     def _aggregate_batched(self, stacked: np.ndarray) -> np.ndarray:
         if self.num_byzantine == 0:
-            return np.median(stacked, axis=1)
+            return active_backend().median(stacked, axis=1)
         norms = np.linalg.norm(stacked, axis=2)
         keep = np.argsort(norms, axis=1)[:, : stacked.shape[1] - self.num_byzantine]
         kept = np.take_along_axis(stacked, keep[:, :, None], axis=1)
-        return np.median(kept, axis=1)
+        return active_backend().median(kept, axis=1)

@@ -27,6 +27,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.kernels import active_backend
 from repro.nn.layers import Dense, ReLU
 from repro.nn.models import MLP, SoftmaxRegression
 from repro.nn.module import Module
@@ -94,25 +95,11 @@ class BatchedDenseStack:
 
         When ``caches`` is a list it receives the per-layer values the
         backward pass needs (layer inputs, weight views, ReLU masks).
+        Delegates to the active kernel backend (see :mod:`repro.kernels`);
+        every backend is bit-identical to ``reference`` by contract.
         """
-        hidden = features
-        if hidden.ndim > 3:  # image input: flatten like the sequential models
-            hidden = hidden.reshape(hidden.shape[0], hidden.shape[1], -1)
-        for entry in self._plan:
-            if entry[0] == "dense":
-                _, in_f, out_f, w_slice, b_slice = entry
-                weight = flat[:, w_slice].reshape(-1, in_f, out_f)
-                bias = flat[:, b_slice]
-                if caches is not None:
-                    caches.append((hidden, weight))
-                hidden = hidden @ weight
-                hidden = hidden + bias[:, None, :]
-            else:  # relu
-                mask = (hidden > 0).astype(np.float64)
-                if caches is not None:
-                    caches.append(mask)
-                hidden = hidden * mask
-        return hidden
+        return active_backend().dense_forward_logits(
+            self._plan, flat, features, caches)
 
     def forward_backward(self, flat: np.ndarray, features: np.ndarray,
                          labels: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -120,53 +107,8 @@ class BatchedDenseStack:
 
         Mirrors ``WorkerNode.compute_gradient``'s autograd tape op by op:
         stable log-softmax (max-shift, exp, sum, log), NLL mean, and the
-        reverse sweep through the dense stack.
+        reverse sweep through the dense stack.  Delegates to the active
+        kernel backend.
         """
-        flat = np.asarray(flat, dtype=np.float64)
-        caches: list = []
-        logits = self.forward_logits(flat, features, caches)
-        replicas, batch, _ = logits.shape
-
-        shift = logits.max(axis=2, keepdims=True)
-        shifted = logits - shift
-        exps = np.exp(shifted)
-        normaliser = exps.sum(axis=2, keepdims=True)
-        log_norm = np.log(normaliser)
-        log_probs = shifted - log_norm
-
-        lanes = np.arange(replicas)[:, None]
-        rows = np.arange(batch)[None, :]
-        picked = log_probs[lanes, rows, labels]
-        losses = -(picked.sum(axis=1) * (1.0 / batch))
-
-        # Backward: d(loss)/d(log_probs) is −1/B at the target entries; the
-        # log-softmax pullback adds softmax/B (computed exactly as the tape
-        # does: the log/sum/exp chain, not a fused softmax).
-        picked_grad = -1.0 * (1.0 / batch)
-        d_log_probs = np.zeros_like(log_probs)
-        d_log_probs[lanes, rows, labels] = picked_grad
-        d_log_norm = -(d_log_probs.sum(axis=2, keepdims=True))
-        d_normaliser = d_log_norm / normaliser
-        d_shifted = d_log_probs + d_normaliser * exps
-        d_hidden = d_shifted  # the max-shift is a constant under the tape
-
-        grads: List[np.ndarray] = [None] * len(self._plan)
-        for index in range(len(self._plan) - 1, -1, -1):
-            entry = self._plan[index]
-            if entry[0] == "dense":
-                layer_in, weight = caches[index]
-                bias_grad = d_hidden.sum(axis=1)
-                weight_grad = layer_in.transpose(0, 2, 1) @ d_hidden
-                grads[index] = (weight_grad, bias_grad)
-                if index > 0:  # the batch input needs no gradient
-                    d_hidden = d_hidden @ weight.transpose(0, 2, 1)
-            else:  # relu
-                d_hidden = d_hidden * caches[index]
-
-        pieces = []
-        for entry, grad in zip(self._plan, grads):
-            if entry[0] == "dense":
-                weight_grad, bias_grad = grad
-                pieces.append(weight_grad.reshape(replicas, -1))
-                pieces.append(bias_grad)
-        return losses, np.concatenate(pieces, axis=1)
+        return active_backend().dense_forward_backward(
+            self._plan, self.num_parameters, flat, features, labels)

@@ -30,12 +30,14 @@ engine responds to either by falling back to sequential execution, so
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.aggregation import get_rule
+from repro.aggregation import get_rule, pairwise_squared_distances_batched
+from repro.kernels import active_backend
 from repro.batch.models import (
     BATCHABLE_MODELS,
     BatchedDenseStack,
@@ -45,7 +47,6 @@ from repro.core.nodes import (
     GradientResult,
     apply_server_attack,
     apply_worker_attack,
-    max_pairwise_distance,
     poison_worker_batch,
 )
 from repro.core.trainer import attacking_node_ids, validate_attack_counts
@@ -111,6 +112,17 @@ class _PhaseBuffer:
         self.payloads = np.zeros((num_senders, num_replicas, dimension))
         self._overrides: Dict[int, Dict[int, np.ndarray]] = {}
         self._num_replicas = num_replicas
+
+    def reset(self) -> None:
+        """Make the buffer reusable for the next step.
+
+        Only delivery times and overrides carry meaning across collection:
+        stale payload rows belong to senders whose times are ``inf`` and can
+        never enter a quorum (starvation raises first), so the payload
+        storage is reused as-is.
+        """
+        self.times.fill(np.inf)
+        self._overrides.clear()
 
     def add_broadcast(self, sender_index: int, payload: np.ndarray,
                       delivered: np.ndarray, times: np.ndarray) -> None:
@@ -267,6 +279,22 @@ class BatchedGuanYuTrainer:
         self._lane_invariant_faults = self.has_faults and \
             base.faults.drop_rate == 0 and \
             not any(event.kind == "drop_rate" for event in base.faults.events)
+        # With no fault schedule and a link-independent latency, every
+        # honest broadcast of a phase delivers everywhere with one plain
+        # draw per message — so a phase's draws can be merged into a single
+        # sample_batch call per lane (bit-identical: same generator, same
+        # stream order).
+        self._fast_delays = (not self.has_faults) and \
+            self.delay_model.latency_is_link_independent
+
+        num_workers = len(self.worker_ids)
+        num_servers = len(self.server_ids)
+        self._buffer1 = _PhaseBuffer(num_workers, num_servers,
+                                     self.num_replicas, self.num_parameters)
+        self._buffer2 = _PhaseBuffer(num_servers, num_workers,
+                                     self.num_replicas, self.num_parameters)
+        self._buffer3 = _PhaseBuffer(num_servers, num_servers,
+                                     self.num_replicas, self.num_parameters)
 
         # θ stack: server axis × replica axis × parameter axis.  Every
         # replica starts all of its servers from that replica's θ0.
@@ -438,6 +466,61 @@ class BatchedGuanYuTrainer:
         delays = delays * factor[:, None] + extra[:, None]
         return delivered, send_time[None, :] + delays
 
+    def _flush_merged(self, buffer: _PhaseBuffer,
+                      sends: List[Tuple[int, np.ndarray, np.ndarray,
+                                        Optional[int]]],
+                      num_recipients: int) -> None:
+        """Record a phase's honest broadcasts with one delay draw per lane.
+
+        ``sends`` holds ``(sender_index, payload (R, D), send_time (R,),
+        skip)`` in the order the slow path would have drawn them; ``skip``
+        is the recipient index whose message consumes no randomness (a
+        server's message to itself).  Only valid under ``_fast_delays``:
+        with no fault schedule every message delivers with factor 1 and no
+        extra delay, and a link-independent latency makes the concatenated
+        per-lane draw bit-identical to the per-send ``sample_batch`` calls
+        on the same generator.
+        """
+        counts = [num_recipients - (0 if skip is None else 1)
+                  for _, _, _, skip in sends]
+        total = sum(counts)
+        draws = np.empty((self.num_replicas, total))
+        for r, lane in enumerate(self.lanes):
+            draws[r] = self.delay_model.sample_batch(
+                lane.delay_rng, None, None, self._message_bytes, total)
+        offset = 0
+        for (s_index, payload, send_time, skip), count in zip(sends, counts):
+            segment = draws[:, offset:offset + count]  # (R, count)
+            offset += count
+            buffer.payloads[s_index] = payload
+            times = buffer.times[:, s_index, :]  # (num_recipients, R) view
+            if skip is None:
+                times[...] = send_time[None, :] + segment.T
+            else:
+                mask = np.ones(num_recipients, dtype=bool)
+                mask[skip] = False
+                times[mask] = send_time[None, :] + segment.T
+                times[skip] = send_time
+
+    def _server_spreads(self) -> np.ndarray:
+        """Per-replica ``max_pairwise_distance`` over the correct servers.
+
+        One batched Gram kernel replaces R sequential calls; like the
+        sequential helper, the winning pair's norm is re-evaluated directly
+        so exact agreement reports exactly zero.
+        """
+        if len(self._correct_server_idx) < 2:
+            return np.zeros(self.num_replicas)
+        stacked = np.ascontiguousarray(
+            self.theta[self._correct_server_idx].transpose(1, 0, 2))
+        squared = pairwise_squared_distances_batched(stacked)
+        n = stacked.shape[1]
+        winners = squared.reshape(self.num_replicas, -1).argmax(axis=1)
+        rows, cols = np.unravel_index(winners, (n, n))
+        return np.array([
+            float(np.linalg.norm(stacked[r, rows[r]] - stacked[r, cols[r]]))
+            for r in range(self.num_replicas)])
+
     # ------------------------------------------------------------------ #
     # Protocol helpers
     # ------------------------------------------------------------------ #
@@ -536,8 +619,10 @@ class BatchedGuanYuTrainer:
         phase_start = self.server_clock[alive_correct_idx].min(axis=0)
 
         # ------------------------- Phase 1 ------------------------------ #
-        buffer1 = _PhaseBuffer(len(self.worker_ids), len(self.server_ids),
-                               replicas, self.num_parameters)
+        fast = self._fast_delays
+        buffer1 = self._buffer1
+        buffer1.reset()
+        merged: List[Tuple[int, np.ndarray, np.ndarray, Optional[int]]] = []
         for s_index, server_id in enumerate(self.server_ids):
             if server_id not in active_servers:
                 continue
@@ -552,11 +637,17 @@ class BatchedGuanYuTrainer:
                                          present & delivered[0], times[0])
             else:
                 send_time = self.server_clock[s_index] + serialization
-                delivered, times = self._broadcast_times(
-                    server_id, self.worker_ids, MessageKind.MODEL_TO_WORKER,
-                    step_index, send_time)
-                buffer1.add_broadcast(s_index, self.theta[s_index],
-                                      delivered, times)
+                if fast:
+                    merged.append((s_index, self.theta[s_index], send_time,
+                                   None))
+                else:
+                    delivered, times = self._broadcast_times(
+                        server_id, self.worker_ids,
+                        MessageKind.MODEL_TO_WORKER, step_index, send_time)
+                    buffer1.add_broadcast(s_index, self.theta[s_index],
+                                          delivered, times)
+        if merged:
+            self._flush_merged(buffer1, merged, len(self.worker_ids))
         if trace_on:
             now = time.perf_counter()
             tracer.record_span("batch.step.broadcast", mark, now,
@@ -632,8 +723,9 @@ class BatchedGuanYuTrainer:
         peer_gradients = [
             [gradient_stack[index][r] for index in alive_correct_worker_idx]
             for r in range(replicas)]
-        buffer2 = _PhaseBuffer(len(self.server_ids), len(self.worker_ids),
-                               replicas, self.num_parameters)
+        buffer2 = self._buffer2
+        buffer2.reset()
+        merged = []
         for w_index in active_worker_indices:
             worker_id = self.worker_ids[w_index]
             if worker_id in self.attacking_workers:
@@ -662,11 +754,17 @@ class BatchedGuanYuTrainer:
                                          present & delivered[0], times[0])
             else:
                 send_time = self.worker_clock[w_index] + serialization
-                delivered, times = self._broadcast_times(
-                    worker_id, self.server_ids,
-                    MessageKind.GRADIENT_TO_SERVER, step_index, send_time)
-                buffer2.add_broadcast(w_index, gradient_stack[w_index],
-                                      delivered, times)
+                if fast:
+                    merged.append((w_index, gradient_stack[w_index],
+                                   send_time, None))
+                else:
+                    delivered, times = self._broadcast_times(
+                        worker_id, self.server_ids,
+                        MessageKind.GRADIENT_TO_SERVER, step_index, send_time)
+                    buffer2.add_broadcast(w_index, gradient_stack[w_index],
+                                          delivered, times)
+        if merged:
+            self._flush_merged(buffer2, merged, len(self.server_ids))
         if trace_on:
             now = time.perf_counter()
             tracer.record_span("batch.step.gather", mark, now,
@@ -697,8 +795,9 @@ class BatchedGuanYuTrainer:
             mark = now
 
         # ------------------------- Phase 3 ------------------------------ #
-        buffer3 = _PhaseBuffer(len(self.server_ids), len(self.server_ids),
-                               replicas, self.num_parameters)
+        buffer3 = self._buffer3
+        buffer3.reset()
+        merged = []
         for s_index, server_id in enumerate(self.server_ids):
             if server_id not in active_servers:
                 continue
@@ -713,11 +812,18 @@ class BatchedGuanYuTrainer:
                                          present & delivered[0], times[0])
             else:
                 send_time = self.server_clock[s_index] + serialization
-                delivered, times = self._broadcast_times(
-                    server_id, self.server_ids, MessageKind.MODEL_TO_SERVER,
-                    step_index, send_time, skip_draw={s_index})
-                buffer3.add_broadcast(s_index, self.theta[s_index].copy(),
-                                      delivered, times)
+                if fast:
+                    merged.append((s_index, self.theta[s_index], send_time,
+                                   s_index))
+                else:
+                    delivered, times = self._broadcast_times(
+                        server_id, self.server_ids,
+                        MessageKind.MODEL_TO_SERVER, step_index, send_time,
+                        skip_draw={s_index})
+                    buffer3.add_broadcast(s_index, self.theta[s_index].copy(),
+                                          delivered, times)
+        if merged:
+            self._flush_merged(buffer3, merged, len(self.server_ids))
 
         for s_index in active_correct_server_idx:
             stacked, completion = buffer3.collect(
@@ -734,6 +840,7 @@ class BatchedGuanYuTrainer:
 
         # ------------------------- Records ------------------------------ #
         simulated_time = self.server_clock[alive_correct_idx].max(axis=0)
+        spreads = self._server_spreads()
         records = []
         for r in range(replicas):
             if alive_correct_worker_idx:
@@ -742,8 +849,7 @@ class BatchedGuanYuTrainer:
                      for index in alive_correct_worker_idx]))
             else:
                 train_loss = None
-            spread = max_pairwise_distance(
-                [self.theta[index, r] for index in self._correct_server_idx])
+            spread = float(spreads[r])
             records.append(StepRecord(
                 step=step_index,
                 simulated_time=float(simulated_time[r]),
@@ -792,17 +898,89 @@ class BatchedGuanYuTrainer:
         return [lane.history for lane in self.lanes]
 
 
-def run_batched_scenarios(specs: Sequence) -> List[TrainingHistory]:
+def _run_single_process(specs: Sequence) -> List[TrainingHistory]:
+    trainer = BatchedGuanYuTrainer(specs)
+    base = specs[0]
+    return trainer.run(base.num_steps, eval_every=base.eval_every,
+                       max_eval_samples=base.max_eval_samples)
+
+
+def _run_lane_chunk(task: Tuple[List[Dict], str]) -> List[TrainingHistory]:
+    """Pool worker: run one contiguous chunk of replica lanes.
+
+    Receives ``(spec payload dicts, backend name)`` — payloads because
+    worker processes may be spawned rather than forked, and the backend
+    name because an in-process :func:`~repro.kernels.set_backend` override
+    in the parent would otherwise not survive a spawn.
+    """
+    from repro.campaign.spec import ScenarioSpec  # lazy: avoid import cycle
+    from repro.kernels import use_backend
+
+    payloads, backend = task
+    specs = [ScenarioSpec.from_dict(payload) for payload in payloads]
+    with use_backend(backend):
+        return _run_single_process(specs)
+
+
+def run_batched_scenarios(specs: Sequence, lanes: Optional[int] = None,
+                          lane_chunk: Optional[int] = None
+                          ) -> List[TrainingHistory]:
     """Execute seed-replica scenarios on the batched runtime.
 
     ``specs`` must be :class:`~repro.campaign.spec.ScenarioSpec` instances
     identical except for ``name``/``seed``.  Returns one history per spec,
     in order, each bit-identical to ``execute_scenario`` on that spec.
+
+    With ``lanes > 1`` the replica lanes are split into contiguous chunks
+    of ``lane_chunk`` specs (default ``ceil(len(specs) / lanes)``), each
+    executed as its own :class:`BatchedGuanYuTrainer` in a process pool of
+    ``lanes`` workers.  Lane→chunk assignment is deterministic (chunk ``i``
+    holds ``specs[i * lane_chunk : (i + 1) * lane_chunk]``) and every lane
+    is fully independent of the others, so the merged histories are
+    bit-identical to the single-process batched run — and therefore to the
+    sequential trainer — per seed.  The active kernel backend propagates
+    to the chunk workers.  Exceptions raised inside a chunk (including
+    :class:`BatchedExecutionError`) propagate to the caller, where the
+    campaign engine's sequential fallback applies as usual.
     """
     specs = list(specs)
     for spec in specs:
         spec.validate()
-    trainer = BatchedGuanYuTrainer(specs)
-    base = specs[0]
-    return trainer.run(base.num_steps, eval_every=base.eval_every,
-                       max_eval_samples=base.max_eval_samples)
+    if specs and not spec_supports_batching(specs[0]):
+        raise BatchingUnsupported(
+            f"trainer '{specs[0].trainer}' / model '{specs[0].model}' has "
+            f"no batched formulation")
+    # The cross-spec check must run in the parent: chunks only see their
+    # own slice, and a mixed group split across chunks would otherwise be
+    # silently accepted.
+    reference = _seedless_payload(specs[0]) if specs else None
+    for spec in specs[1:]:
+        if _seedless_payload(spec) != reference:
+            raise ValueError(
+                "batched execution requires scenarios that differ only "
+                "in seed (and name)")
+
+    if lanes is None:
+        lanes = 1
+    if lanes < 1:
+        raise ValueError("lanes must be a positive integer")
+    if lane_chunk is not None and lane_chunk < 1:
+        raise ValueError("lane_chunk must be a positive integer")
+    if multiprocessing.current_process().daemon:
+        # Daemonic pool workers (the campaign engine's scenario pool)
+        # cannot fork children of their own.
+        lanes = 1
+    chunk_size = lane_chunk if lane_chunk is not None \
+        else -(-len(specs) // max(lanes, 1))
+    if lanes <= 1 or not specs or chunk_size >= len(specs):
+        return _run_single_process(specs)
+
+    backend = active_backend().name
+    chunks = [specs[start: start + chunk_size]
+              for start in range(0, len(specs), chunk_size)]
+    tasks = [([spec.to_dict() for spec in chunk], backend)
+             for chunk in chunks]
+    with multiprocessing.get_context().Pool(
+            processes=min(lanes, len(chunks))) as pool:
+        chunk_histories = pool.map(_run_lane_chunk, tasks)
+    return [history for chunk in chunk_histories for history in chunk]

@@ -35,8 +35,8 @@ def run_benchmark(steps: int = 30, repeats: int = 1) -> Dict:
     :func:`repro.benchtools.util.best_of`) — the usual defence against
     noisy-neighbour intervals on shared CI runners.
     """
-    from repro.campaign.engine import execute_scenario
     from repro.campaign.spec import ScenarioSpec
+    from repro.runtime import run as run_scenario
 
     repeats = max(repeats, 1)
     variants = {
@@ -51,7 +51,7 @@ def run_benchmark(steps: int = 30, repeats: int = 1) -> Dict:
     for name, fields in variants.items():
         spec = ScenarioSpec(name=name, num_steps=steps, **fields)
         seconds[name], _ = best_of(repeats,
-                                   lambda spec=spec: execute_scenario(spec))
+                                   lambda spec=spec: run_scenario(spec))
 
     honest = seconds["honest"]
     report = {

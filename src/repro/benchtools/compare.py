@@ -179,12 +179,19 @@ def compare_benchmarks(current: Dict[str, float], baseline: Dict[str, float],
 
     A benchmark regresses when ``current > baseline * threshold``.  A
     baseline benchmark missing from the current run also fails — silently
-    dropping a benchmark is how perf gates rot.  Benchmarks new in the
-    current run pass with a note (the baseline needs refreshing to cover
-    them).
+    dropping a benchmark is how perf gates rot.  An **empty** baseline map
+    is an error for the same reason: every comparison against it would
+    pass vacuously, which is indistinguishable from a working gate in CI
+    logs.  Benchmarks new in the current run pass with a note (the
+    baseline needs refreshing to cover them).
     """
     if threshold <= 1.0:
         raise ValueError("threshold must exceed 1.0 (a ratio, not a delta)")
+    if not baseline:
+        raise ValueError(
+            "the baseline holds no benchmark entries, so the perf gate "
+            "would pass vacuously; regenerate the baseline with the "
+            "matching bench tool and commit it")
     rows: List[Dict] = []
     failures: List[str] = []
     for name in sorted(baseline):
@@ -239,10 +246,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         current = load_medians(args.current)
+    except FileNotFoundError:
+        print(f"bench-compare: error: current-run file '{args.current}' "
+              f"does not exist — did the bench step produce it?",
+              file=sys.stderr)
+        return 2
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench-compare: error: unusable current-run file "
+              f"'{args.current}': {exc}", file=sys.stderr)
+        return 2
+    try:
         baseline = load_medians(args.baseline)
+    except FileNotFoundError:
+        print(f"bench-compare: error: committed baseline '{args.baseline}' "
+              f"does not exist; generate it with the matching bench tool "
+              f"and commit it (see benchmarks/baselines/)", file=sys.stderr)
+        return 2
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"bench-compare: error: unusable baseline "
+              f"'{args.baseline}': {exc}", file=sys.stderr)
+        return 2
+    try:
         rows, failures = compare_benchmarks(current, baseline,
                                             threshold=args.threshold)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
+    except ValueError as exc:
         print(f"bench-compare: error: {exc}", file=sys.stderr)
         return 2
 

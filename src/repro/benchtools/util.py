@@ -62,5 +62,6 @@ def machine_metadata() -> Dict[str, Any]:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
         "commit": _commit_hash(),
     }

@@ -35,7 +35,10 @@ from repro.core.trainer import (
     VanillaTrainer,
 )
 from repro.obs.history import TrainingHistory
+from repro.kernels import use_backend
 from repro.obs.tracer import Tracer, get_tracer, use_tracer
+from repro.runtime.facade import _warn_deprecated
+from repro.runtime.facade import run as run_scenario
 from repro.runtime.threads import ThreadedClusterRuntime
 
 #: callback signature: ``progress(outcome, completed_count, total_count)``
@@ -181,11 +184,16 @@ def build_trainer(spec: ScenarioSpec):
     raise ValueError(f"unknown trainer '{spec.trainer}'")
 
 
-def execute_scenario(spec: ScenarioSpec) -> TrainingHistory:
-    """Validate, build and run one scenario; returns its history."""
+def _execute_validated(spec: ScenarioSpec) -> TrainingHistory:
+    """Build and run one already-validated scenario.
+
+    This is the sequential/threaded/cluster execution body behind
+    :func:`repro.runtime.run` (which owns validation, runtime resolution
+    and kernel-backend selection).  The batched runtime never reaches
+    here — the facade dispatches it to :mod:`repro.batch` directly.
+    """
     from repro.runtime.cluster.supervisor import ClusterRuntime  # lazy
 
-    spec.validate()
     trainer = build_trainer(spec)
     if isinstance(trainer, (ThreadedClusterRuntime, ClusterRuntime)):
         history = trainer.run(spec.num_steps)
@@ -193,6 +201,18 @@ def execute_scenario(spec: ScenarioSpec) -> TrainingHistory:
         return history
     return trainer.run(spec.num_steps, eval_every=spec.eval_every,
                        max_eval_samples=spec.max_eval_samples)
+
+
+def execute_scenario(spec: ScenarioSpec) -> TrainingHistory:
+    """Deprecated: call :func:`repro.runtime.run` instead.
+
+    Kept as a shim for older scripts; identical behaviour (validate, build,
+    run, return the history) but without the facade's richer
+    :class:`~repro.runtime.facade.ScenarioResult` and store integration.
+    """
+    _warn_deprecated("repro.campaign.engine.execute_scenario",
+                     "repro.runtime.run")
+    return run_scenario(spec).history
 
 
 def _run_payload(payload: Dict) -> Dict:
@@ -210,7 +230,7 @@ def _run_payload(payload: Dict) -> Dict:
                    record_decisions=getattr(outer, "record_decisions", False))
     try:
         with use_tracer(local):
-            history = execute_scenario(ScenarioSpec.from_dict(payload))
+            history = run_scenario(ScenarioSpec.from_dict(payload)).history
         _forward_trace(outer, local)
         return {"status": "ran", "history": history.to_dict(), "error": None,
                 "traceback": None,
@@ -234,22 +254,28 @@ def _forward_trace(outer, local: Tracer) -> None:
         outer.count(counter_name, value)
 
 
-def _run_batched_payloads(payloads: List[Dict]) -> List[Dict]:
+def _run_batched_payloads(payloads: List[Dict],
+                          lanes: Optional[int] = None) -> List[Dict]:
     """Run a seed-replica group on the batched runtime; one dict per spec.
 
-    Any problem — an unsupported scenario slipping through, a replica
-    starving a quorum under message loss, a genuine training error — makes
-    the whole group fall back to isolated sequential execution, which
-    yields the canonical per-scenario outcome (the batched runtime is
-    bit-identical where it runs at all, so the fallback only costs time).
+    ``lanes > 1`` shards the group's replica lanes over a process pool
+    (:func:`repro.batch.run_batched_scenarios`); the merged histories stay
+    bit-identical, but per-step traces produced inside chunk workers do
+    not cross the pool boundary.  Any problem — an unsupported scenario
+    slipping through, a replica starving a quorum under message loss, a
+    genuine training error — makes the whole group fall back to isolated
+    sequential execution, which yields the canonical per-scenario outcome
+    (the batched runtime is bit-identical where it runs at all, so the
+    fallback only costs time).
     """
     started = time.perf_counter()
     outer = get_tracer()
     local = Tracer(capacity=50_000)
     try:
-        with use_tracer(local):
-            histories = run_batched_scenarios(
-                [ScenarioSpec.from_dict(payload) for payload in payloads])
+        specs = [ScenarioSpec.from_dict(payload) for payload in payloads]
+        with use_tracer(local), use_backend(specs[0].kernels if specs
+                                            else None):
+            histories = run_batched_scenarios(specs, lanes=lanes)
     except Exception:  # noqa: BLE001 - fall back to per-scenario isolation
         return [_run_payload(payload) for payload in payloads]
     _forward_trace(outer, local)
@@ -280,7 +306,8 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                  progress: Optional[ProgressCallback] = None,
                  on_invalid: str = "raise",
                  name: Optional[str] = None,
-                 batch_seeds: bool = False) -> CampaignResult:
+                 batch_seeds: bool = False,
+                 lanes: Optional[int] = None) -> CampaignResult:
     """Execute a campaign (or a plain scenario list).
 
     Parameters
@@ -314,6 +341,14 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
         under each scenario's unchanged content address, so existing stores
         stay valid; groups the batched runtime cannot execute fall back to
         sequential runs automatically.
+    lanes:
+        ``> 1`` shards each batched seed group's replica lanes over a
+        process pool of that many workers
+        (:func:`repro.batch.run_batched_scenarios`).  Because a pool
+        worker cannot fork workers of its own, lane-sharded groups execute
+        in the main process — under ``processes > 1`` the lone scenarios
+        go to the scenario pool while the batch groups run (lane-parallel)
+        in the foreground.
     """
     if isinstance(campaign, CampaignSpec):
         name = campaign.name
@@ -423,23 +458,44 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
     else:
         tasks = [("single", [item]) for item in pending]
 
-    if processes and processes > 1 and len(tasks) > 1:
-        pool_size = min(processes, len(tasks))
+    # Lane sharding forks chunk workers, which a daemonic scenario-pool
+    # worker cannot do — so lane-sharded batch groups stay in the main
+    # process and only the remaining tasks are eligible for the pool.
+    lane_sharding = bool(lanes and lanes > 1)
+    pool_tasks = list(enumerate(tasks))
+    foreground: List[Tuple[int, str, List[Tuple[ScenarioSpec, str]]]] = []
+    if lane_sharding:
+        pool_tasks = [(index, task) for index, task in enumerate(tasks)
+                      if task[0] != "batch"]
+        foreground = [(index, kind, bucket)
+                      for index, (kind, bucket) in enumerate(tasks)
+                      if kind == "batch"]
+
+    if processes and processes > 1 and len(pool_tasks) > 1:
+        pool_size = min(processes, len(pool_tasks))
         items = [(index, kind, [spec.to_dict() for spec, _ in bucket])
-                 for index, (kind, bucket) in enumerate(tasks)]
+                 for index, (kind, bucket) in pool_tasks]
         with multiprocessing.get_context().Pool(pool_size) as pool:
             # Unordered: each result is persisted/reported the moment it
             # completes, so an interruption loses at most the in-flight
             # scenarios — not everything queued behind a slow one.
-            for index, payloads in pool.imap_unordered(_run_indexed_task,
-                                                       items):
+            results = pool.imap_unordered(_run_indexed_task, items)
+            # Batch groups run lane-parallel in the foreground while the
+            # pool chews through the singles.
+            for index, kind, bucket in foreground:
+                payloads = _run_batched_payloads(
+                    [spec.to_dict() for spec, _ in bucket], lanes=lanes)
+                for (spec, key), payload in zip(bucket, payloads):
+                    finish_payload(spec, key, payload)
+            for index, payloads in results:
                 for (spec, key), payload in zip(tasks[index][1], payloads):
                     finish_payload(spec, key, payload, pooled=True)
     else:
         for kind, bucket in tasks:
             if kind == "batch":
                 payloads = _run_batched_payloads(
-                    [spec.to_dict() for spec, _ in bucket])
+                    [spec.to_dict() for spec, _ in bucket],
+                    lanes=lanes if lane_sharding else None)
             else:
                 payloads = [_run_payload(bucket[0][0].to_dict())]
             for (spec, key), payload in zip(bucket, payloads):

@@ -265,11 +265,19 @@ class ScenarioSpec:
     #: threaded runtime only: delivery jitter bound and per-quorum deadline
     jitter: float = 0.0
     quorum_timeout: float = 60.0
-    #: execution runtime for trainer ``guanyu_threaded``: ``None`` (node
-    #: threads in one process — the legacy default) or ``"cluster"`` (one
-    #: OS process per node over real sockets, under a supervisor).  Absent
-    #: ≡ legacy for content addressing, so pre-cluster stores stay valid.
+    #: explicit execution runtime.  ``None`` means the legacy default for
+    #: the trainer (simulated event loop, or node threads for
+    #: ``guanyu_threaded``).  ``"batched"`` (trainer ``guanyu`` only) runs
+    #: the scenario as a one-replica lane on the vectorised runtime;
+    #: ``"cluster"`` (trainer ``guanyu_threaded`` only) runs one OS
+    #: process per node over real sockets, under a supervisor.  Absent ≡
+    #: legacy for content addressing, so pre-cluster stores stay valid.
     runtime: Optional[str] = None
+    #: kernel backend (:mod:`repro.kernels`) the run should select, e.g.
+    #: ``"numpy-opt"``.  Every backend is bit-identical by contract, so
+    #: this is a performance knob, not a semantic one; absent ≡ legacy
+    #: (the process default) for content addressing.
+    kernels: Optional[str] = None
 
     # -- time-varying faults (GuanYu trainers only) ------------------------- #
     #: declarative :class:`~repro.faults.FaultSchedule` (or its dict form):
@@ -471,15 +479,35 @@ class ScenarioSpec:
             self.faults.validate(
                 known_nodes=config.worker_ids() + config.server_ids())
         if self.runtime is not None:
-            if self.runtime != "cluster":
+            if self.runtime not in ("batched", "cluster"):
                 raise ValueError(f"unknown runtime '{self.runtime}'; the "
-                                 f"only explicit runtime is 'cluster' "
-                                 f"(absent means node threads)")
-            if self.trainer != "guanyu_threaded":
+                                 f"explicit runtimes are 'batched' and "
+                                 f"'cluster' (absent means the trainer's "
+                                 f"legacy default)")
+            if self.runtime == "cluster" and self.trainer != "guanyu_threaded":
                 raise ValueError(
                     "runtime 'cluster' runs the wall-clock cluster protocol "
                     "as real OS processes and requires trainer "
                     f"'guanyu_threaded' (got '{self.trainer}')")
+            if self.runtime == "batched":
+                from repro.batch import spec_supports_batching  # lazy: cycle
+                if not spec_supports_batching(self):
+                    raise ValueError(
+                        f"runtime 'batched' requires trainer 'guanyu' and a "
+                        f"replica-batchable dense model (got trainer "
+                        f"'{self.trainer}', model '{self.model}')")
+        if self.kernels is not None:
+            from repro.kernels import available_backends  # lazy: cycle
+            if self.kernels not in available_backends():
+                raise ValueError(
+                    f"unknown kernel backend '{self.kernels}'; available: "
+                    f"{list(available_backends())}")
+            if self.runtime == "cluster":
+                raise ValueError(
+                    "runtime 'cluster' spawns one OS process per node and "
+                    "does not propagate an in-process kernel selection; "
+                    "set the REPRO_KERNEL_BACKEND environment variable "
+                    "instead")
         if self.trainer == "guanyu_threaded":
             # The threaded runtime runs on the real wall clock: delay/cost
             # models do not apply, and silently ignoring them would let two
@@ -604,9 +632,9 @@ class ScenarioSpec:
         or harness chose to name them.  An absent ``faults`` schedule is
         excluded too: fault-free specs keep the addresses they had before
         fault injection existed, and the hash changes iff the schedule does.
-        The same absent≡legacy rule applies to ``adversary``, ``hetero``
-        and ``runtime``, so stores filled before the adversary,
-        heterogeneity or cluster engines existed stay valid.
+        The same absent≡legacy rule applies to ``adversary``, ``hetero``,
+        ``runtime`` and ``kernels``, so stores filled before the adversary,
+        heterogeneity, cluster or kernel engines existed stay valid.
         """
         payload = self.to_dict()
         del payload["name"]
@@ -618,6 +646,8 @@ class ScenarioSpec:
             del payload["hetero"]
         if payload["runtime"] is None:
             del payload["runtime"]
+        if payload["kernels"] is None:
+            del payload["kernels"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -641,6 +671,8 @@ class ScenarioSpec:
             del payload["hetero"]
         if payload["runtime"] is None:
             del payload["runtime"]
+        if payload["kernels"] is None:
+            del payload["kernels"]
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 

@@ -97,6 +97,7 @@ from repro.experiments import (
     table1_report,
 )
 from repro.faults import FaultSchedule
+from repro.kernels import set_backend
 from repro import __version__
 from repro.obs import (
     Tracer,
@@ -467,7 +468,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             result = run_campaign(scenarios, name=campaign_name, store=store,
                                   processes=processes,
                                   progress=report_progress,
-                                  batch_seeds=args.batch_seeds)
+                                  batch_seeds=args.batch_seeds,
+                                  lanes=args.lanes)
     except KeyboardInterrupt:
         # Completed scenarios were persisted the moment they finished (the
         # engine calls store.put per outcome), so the interrupt loses only
@@ -782,6 +784,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record a structured trace of the run "
                              "(spans/events/counters) to this JSONL file; "
                              "inspect it with 'repro trace' / 'repro report'")
+    parser.add_argument("--kernel-backend", default=None, metavar="NAME",
+                        help="kernel backend for this process (see "
+                             "repro.kernels; overrides the "
+                             "REPRO_KERNEL_BACKEND environment variable)")
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -848,16 +854,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run scenarios that differ only in seed as one "
                             "vectorised multi-replica execution (bit-"
                             "identical per seed; see docs/performance.md)")
+    sweep.add_argument("--lanes", type=int, default=None,
+                       help="with --batch-seeds: shard each group's replica "
+                            "lanes over this many worker processes (merged "
+                            "histories stay bit-identical; see "
+                            "docs/performance.md)")
     sweep.add_argument("--hetero", nargs="+", default=None, metavar="SKEW",
                        help="data-heterogeneity levels to sweep over (iid, "
                             "dirichlet=ALPHA, shards=K, imbalance=GAMMA, "
                             "drift=SIGMA)")
     sweep.add_argument("--faults", default=None, metavar="FILE",
                        help="fault-schedule JSON applied to every grid cell")
-    sweep.add_argument("--runtime", choices=("cluster",), default=None,
+    sweep.add_argument("--runtime", choices=("batched", "cluster"),
+                       default=None,
                        help="execution runtime for every grid cell: "
-                            "'cluster' runs each scenario as real OS "
-                            "processes over sockets (requires --trainer "
+                            "'batched' runs each scenario as a one-replica "
+                            "lane on the vectorised runtime (trainer "
+                            "guanyu); 'cluster' runs each scenario as real "
+                            "OS processes over sockets (requires --trainer "
                             "guanyu_threaded; see docs/cluster.md)")
     sweep.add_argument("--skip-invalid", action="store_true",
                        help="drop inadmissible grid cells instead of failing")
@@ -999,6 +1013,10 @@ def main(argv: Optional[list] = None) -> int:
     configure_logging(args.log_level, json_mode=args.log_json)
     tracer = Tracer(record_decisions=True) if args.trace else None
     try:
+        if args.kernel_backend is not None:
+            # Process-wide: pool workers inherit it via the spec payloads'
+            # kernels field or (forked pools) the registry override.
+            set_backend(args.kernel_backend)
         if tracer is None:
             return args.func(args)
         with use_tracer(tracer):

@@ -1,16 +1,18 @@
 """Mini-batch loading and per-worker sharding.
 
 In the paper's deployment each worker samples mini-batches from its local
-copy of CIFAR-10.  Here :func:`shard_dataset` splits a dataset across
-workers (either disjointly or with full replication), and :class:`DataLoader`
-draws reproducible mini-batches from a shard.  :func:`partition_dataset` is
-the partitioner front door every runtime goes through: it dispatches to the
-heterogeneity engine (:mod:`repro.hetero`) when a hetero spec is present
-and to the legacy uniform split otherwise.
+copy of CIFAR-10.  Here :func:`partition_dataset` — the sole partitioner
+front door every runtime goes through — splits a dataset across workers:
+it dispatches to the heterogeneity engine (:mod:`repro.hetero`) when a
+hetero spec is present and to the legacy strategies (i.i.d. split, full
+replication, by-class skew) otherwise.  :class:`DataLoader` draws
+reproducible mini-batches from a shard.  The old :func:`shard_dataset`
+entrypoint remains as a deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, List, Tuple
 
 import numpy as np
@@ -40,14 +42,18 @@ class DataLoader:
         self.batch_size = min(batch_size, len(dataset))
         self.sample_with_replacement = sample_with_replacement
         self._rng = np.random.default_rng(seed)
+        # hot path: next_batch runs once per worker per step, so the shard
+        # size is cached rather than re-derived through the dataset
+        self._num_samples = len(dataset)
 
     def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return one mini-batch ``(features, labels)``."""
         if self.sample_with_replacement:
-            indices = self._rng.integers(0, len(self.dataset), size=self.batch_size)
+            indices = self._rng.integers(0, self._num_samples,
+                                         size=self.batch_size)
         else:
-            indices = self._rng.choice(len(self.dataset), size=self.batch_size,
-                                       replace=False)
+            indices = self._rng.choice(self._num_samples,
+                                       size=self.batch_size, replace=False)
         return self.dataset.features[indices], self.dataset.labels[indices]
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
@@ -82,11 +88,26 @@ def partition_dataset(dataset: Dataset, num_workers: int,
         from repro.hetero.partition import hetero_partition  # lazy: no cycle
 
         return hetero_partition(dataset, num_workers, hetero, seed=seed)
-    return shard_dataset(dataset, num_workers, strategy=sharding, seed=seed)
+    return _shard_dataset(dataset, num_workers, strategy=sharding, seed=seed)
 
 
 def shard_dataset(dataset: Dataset, num_shards: int, strategy: str = "iid",
                   seed: int = 0) -> List[Dataset]:
+    """Deprecated: call :func:`partition_dataset` instead.
+
+    ``partition_dataset`` is the partitioner front door every runtime goes
+    through; it covers the legacy strategies (via ``sharding=``) *and* the
+    heterogeneity engine.  This shim keeps older scripts working.
+    """
+    warnings.warn(
+        "repro.data.shard_dataset is deprecated; use "
+        "repro.data.partition_dataset instead",
+        DeprecationWarning, stacklevel=2)
+    return _shard_dataset(dataset, num_shards, strategy=strategy, seed=seed)
+
+
+def _shard_dataset(dataset: Dataset, num_shards: int, strategy: str = "iid",
+                   seed: int = 0) -> List[Dataset]:
     """Split a dataset into per-worker shards.
 
     Parameters

@@ -25,7 +25,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.adversary.registry import get_adversary
 from repro.aggregation import available_rules, get_rule
-from repro.campaign.engine import execute_scenario
 from repro.campaign.spec import ScenarioSpec
 from repro.campaign.store import ResultStore
 from repro.core.config import ClusterConfig
@@ -113,15 +112,11 @@ def admissible_max_attackers(scale: ExperimentScale, gar: str) -> int:
 def _final_loss(spec: ScenarioSpec,
                 store: Optional[ResultStore]) -> Tuple[float, bool]:
     """``(final training loss, was_cached)`` of one evaluation scenario."""
-    spec = spec.validate()
-    key = spec.spec_hash()
-    if store is not None and store.contains(key):
-        history = store.get(key).history
-        return float(history.records[-1].train_loss), True
-    history = execute_scenario(spec)
-    if store is not None:
-        store.put(spec, history)
-    return float(history.records[-1].train_loss), False
+    from repro.runtime import run as run_scenario  # lazy: import cycle
+
+    result = run_scenario(spec, store=store)
+    return (float(result.history.records[-1].train_loss),
+            result.status == "cached")
 
 
 def run_breakdown_search(scale: Optional[ExperimentScale] = None,

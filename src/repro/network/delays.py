@@ -25,6 +25,15 @@ class DelayModel:
         corresponds to the paper's 10 Gbps Ethernet (1.25e9 bytes/s).
     """
 
+    #: True when :meth:`latency` ignores both ``sender`` and ``recipient``,
+    #: i.e. every link draws from one shared distribution.  The batched
+    #: runtime uses this to merge a phase's per-send draws into one
+    #: ``sample_batch`` call per lane (the concatenated stream is
+    #: bit-identical to consecutive per-send calls on the same generator).
+    #: Link-dependent models (per-node factors, partitions) must set this
+    #: False.
+    latency_is_link_independent = True
+
     def __init__(self, bandwidth_bytes_per_second: float = 1.25e9) -> None:
         if bandwidth_bytes_per_second <= 0:
             raise ValueError("bandwidth must be positive")
@@ -141,6 +150,8 @@ class HeterogeneousDelay(DelayModel):
     such nodes — the quorums simply exclude them.
     """
 
+    latency_is_link_independent = False
+
     def __init__(self, base: DelayModel,
                  node_factors: Optional[Dict[str, float]] = None, **kwargs) -> None:
         super().__init__(bandwidth_bytes_per_second=base.bandwidth, **kwargs)
@@ -161,6 +172,8 @@ class PartitionDelay(DelayModel):
     to congest parts of the network for short periods (paper Section 2,
     discussion of timing assumptions).
     """
+
+    latency_is_link_independent = False
 
     def __init__(self, base: DelayModel, partitioned_nodes: Iterable[str],
                  period: float = 1.0, partition_duration: float = 0.2,

@@ -1,13 +1,20 @@
 """Execution runtimes and cost models for the distributed protocol.
 
-Two ways of running GuanYu are provided:
+:func:`repro.runtime.run` is the front door: it validates a
+:class:`~repro.campaign.spec.ScenarioSpec`, resolves the runtime the spec
+describes and executes it, returning a :class:`ScenarioResult`.  Four
+runtimes sit behind it:
 
 * the **simulated runtime** (driven by :mod:`repro.core.trainer` over
   :class:`repro.network.NetworkSimulator`) — deterministic, seeded, with a
   simulated clock used for the time-axis of the Figure 3 reproduction;
+* the **batched runtime** (:mod:`repro.batch`) — replica lanes stacked and
+  vectorised in one process, bit-identical per seed to the simulator;
 * the **threaded runtime** (:mod:`repro.runtime.threads`) — every node runs
   in its own Python thread and exchanges messages over real queues, which
-  exercises genuine concurrency, out-of-order delivery and wall-clock timing.
+  exercises genuine concurrency, out-of-order delivery and wall-clock timing;
+* the **cluster runtime** (:mod:`repro.runtime.cluster`) — one OS process
+  per node over real sockets, under a supervising daemon.
 
 :class:`repro.runtime.cost.CostModel` accounts for local computation time
 (gradient computation, robust aggregation, model updates and the
@@ -15,12 +22,22 @@ tensor↔numpy serialisation overhead the paper discusses in Section 4).
 """
 
 from repro.runtime.cost import CostModel, GRID5000_LIKE, INSTANT
+from repro.runtime.facade import (
+    RUNTIME_KINDS,
+    ScenarioResult,
+    resolve_runtime,
+    run,
+)
 from repro.runtime.threads import ThreadedClusterRuntime, ThreadedNodeHandle
 
 __all__ = [
     "CostModel",
     "GRID5000_LIKE",
     "INSTANT",
+    "RUNTIME_KINDS",
+    "ScenarioResult",
     "ThreadedClusterRuntime",
     "ThreadedNodeHandle",
+    "resolve_runtime",
+    "run",
 ]

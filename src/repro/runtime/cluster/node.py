@@ -280,7 +280,15 @@ class ClusterNodeProcess:
     def _park_for_kill(self, step: int) -> None:
         """Report the scheduled crash, then wait for the supervisor's
         SIGKILL — the process really dies; a later recover event makes the
-        supervisor respawn a fresh incarnation from this step's state."""
+        supervisor respawn a fresh incarnation from this step's state.
+
+        The data-plane listener closes *before* the report: between the
+        report and the SIGKILL this process is protocol-dead but its
+        socket would otherwise keep accepting frames, and a fast peer's
+        post-crash-step frame buffered here dies with the process instead
+        of being retried into the respawned incarnation's re-bound
+        listener."""
+        self.transport.close()
         self.control.send("crashed", step=step)
         while True:
             time.sleep(3600)

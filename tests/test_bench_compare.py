@@ -105,6 +105,27 @@ class TestMainExitCodes:
         assert main([str(tmp_path / "nope.json"), baseline]) == 2
         assert "error" in capsys.readouterr().err
 
+    def test_missing_baseline_is_two_with_clear_message(self, tmp_path,
+                                                        capsys):
+        current = _write(tmp_path / "current.json", BASELINE)
+        assert main([current, str(tmp_path / "no-baseline.json")]) == 2
+        err = capsys.readouterr().err
+        assert "baseline" in err
+        assert "does not exist" in err
+        assert "commit" in err
+
+    def test_unreadable_baseline_is_two_and_names_the_file(self, tmp_path,
+                                                           capsys):
+        current = _write(tmp_path / "current.json", BASELINE)
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert main([current, str(broken)]) == 2
+        assert "broken.json" in capsys.readouterr().err
+
+    def test_empty_baseline_medians_fail_instead_of_vacuous_pass(self):
+        with pytest.raises(ValueError, match="vacuous"):
+            compare_benchmarks(dict(BASELINE), {})
+
     def test_committed_aggregation_baseline_parses(self):
         baseline = Path(__file__).resolve().parents[1] \
             / "benchmarks" / "baselines" / "BENCH_aggregation.json"
@@ -123,6 +144,18 @@ class TestCampaignBenchmark:
         assert report["batched_seconds"] > 0
         assert report["speedup"] == pytest.approx(
             report["sequential_seconds"] / report["batched_seconds"])
+        from repro.kernels import active_backend
+        assert report["lanes"] == 1
+        # None means "whatever is active" — e.g. REPRO_KERNEL_BACKEND in CI.
+        assert report["kernel_backend"] == active_backend().name
+        assert report["machine"]["cpu_count"] >= 1
+
+    def test_lanes_and_backend_stay_bit_identical(self):
+        report = bench_campaign.run_benchmark(replicas=3, steps=3, lanes=2,
+                                              kernel_backend="numpy-opt")
+        assert report["bit_identical"] is True
+        assert report["lanes"] == 2
+        assert report["kernel_backend"] == "numpy-opt"
 
     def test_main_writes_report(self, tmp_path, capsys):
         output = tmp_path / "BENCH_campaign.json"

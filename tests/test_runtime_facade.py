@@ -1,0 +1,127 @@
+"""The one front door: ``repro.runtime.run`` dispatch and the legacy shims.
+
+Every runtime — sequential simulator, batched lanes, threaded nodes,
+process cluster — is reached through ``run(spec)``; the old entrypoints
+(``execute_scenario``, ``shard_dataset``) remain as deprecation shims.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.runtime as runtime_pkg
+from repro.campaign.engine import execute_scenario
+from repro.campaign.spec import ScenarioSpec
+from repro.campaign.store import ResultStore
+from repro.data import make_blobs_dataset, partition_dataset, shard_dataset
+from repro.obs.tracer import Tracer
+from repro.runtime import ScenarioResult, resolve_runtime, run
+
+
+def _spec(**overrides):
+    fields = dict(name="facade", num_steps=4, eval_every=2,
+                  dataset_size=400, max_eval_samples=64)
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestResolveRuntime:
+    def test_default_trainers_resolve_sequential(self):
+        assert resolve_runtime(_spec()) == "sequential"
+        assert resolve_runtime(_spec(trainer="vanilla")) == "sequential"
+
+    def test_threaded_trainer_resolves_threaded(self):
+        assert resolve_runtime(
+            _spec(trainer="guanyu_threaded")) == "threaded"
+
+    def test_explicit_runtimes_win(self):
+        assert resolve_runtime(_spec(runtime="batched")) == "batched"
+        assert resolve_runtime(_spec(trainer="guanyu_threaded",
+                                     runtime="cluster")) == "cluster"
+
+
+class TestRun:
+    def test_sequential_result_shape(self):
+        result = run(_spec())
+        assert isinstance(result, ScenarioResult)
+        assert result.status == "ran"
+        assert result.runtime == "sequential"
+        assert result.store_key is None
+        assert result.duration_seconds > 0
+        assert len(result.history.records) == 4
+
+    def test_batched_runtime_bit_identical_to_sequential(self):
+        sequential = run(_spec()).history.to_dict()
+        batched = run(_spec(runtime="batched")).history.to_dict()
+        assert sequential == batched
+
+    def test_threaded_runtime_runs_and_labels(self):
+        result = run(_spec(trainer="guanyu_threaded", num_steps=3,
+                           name="threaded-run"))
+        assert result.runtime == "threaded"
+        assert result.history.label == "threaded-run"
+
+    def test_invalid_spec_raises_before_running(self):
+        with pytest.raises(ValueError):
+            run(_spec(num_steps=0))
+
+    def test_store_round_trip_and_cache_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first = run(_spec(), store=store)
+        assert first.status == "ran"
+        assert first.store_key is not None
+        assert store.contains(first.store_key)
+        second = run(_spec(name="same-but-renamed"), store=store)
+        assert second.status == "cached"
+        assert second.store_key == first.store_key
+        assert second.history.label == "same-but-renamed"
+        assert second.history.to_dict() == first.history.to_dict() | {
+            "label": "same-but-renamed"}
+
+    def test_explicit_tracer_collects_the_run(self):
+        tracer = Tracer()
+        result = run(_spec(), tracer=tracer)
+        assert result.status == "ran"
+        assert tracer.events(), "the run should have produced trace events"
+
+    def test_spec_kernels_selects_backend_for_the_run(self):
+        reference = run(_spec()).history.to_dict()
+        optimised = run(_spec(kernels="numpy-opt")).history.to_dict()
+        assert reference == optimised
+
+    def test_runtime_package_exports_the_facade(self):
+        for name in ("run", "resolve_runtime", "ScenarioResult",
+                     "RUNTIME_KINDS"):
+            assert name in runtime_pkg.__all__
+
+
+class TestDeprecationShims:
+    def test_execute_scenario_warns_and_matches_run(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            history = execute_scenario(_spec())
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert "repro.runtime.run" in str(caught[0].message)
+        assert history.to_dict() == run(_spec()).history.to_dict()
+
+    def test_shard_dataset_warns_and_matches_partition_dataset(self):
+        dataset = make_blobs_dataset(num_samples=120, seed=3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = shard_dataset(dataset, 4, strategy="iid", seed=5)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert "partition_dataset" in str(caught[0].message)
+        front_door = partition_dataset(dataset, 4, sharding="iid", seed=5)
+        for old, new in zip(legacy, front_door):
+            assert np.array_equal(old.features, new.features)
+            assert np.array_equal(old.labels, new.labels)
+
+    def test_partition_dataset_itself_does_not_warn(self):
+        dataset = make_blobs_dataset(num_samples=120, seed=3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("error", DeprecationWarning)
+            partition_dataset(dataset, 4, sharding="iid", seed=5)
+        assert caught == []
