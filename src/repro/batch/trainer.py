@@ -55,6 +55,7 @@ from repro.faults import FaultController
 from repro.hetero import DEFAULT_PROFILE
 from repro.metrics.accuracy import evaluate_accuracy
 from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.telemetry import get_registry
 from repro.obs.tracer import get_tracer
 from repro.network.message import MessageKind
 
@@ -598,8 +599,11 @@ class BatchedGuanYuTrainer:
         serialization = self._serialization
         replicas = self.num_replicas
         tracer = get_tracer()
+        registry = get_registry()
         trace_on = tracer.enabled
-        mark = time.perf_counter() if trace_on else 0.0
+        tele_on = registry.enabled
+        obs_on = trace_on or tele_on
+        mark = time.perf_counter() if obs_on else 0.0
 
         if self.has_faults:
             for lane in self.lanes:
@@ -648,10 +652,14 @@ class BatchedGuanYuTrainer:
                                           delivered, times)
         if merged:
             self._flush_merged(buffer1, merged, len(self.worker_ids))
-        if trace_on:
+        if obs_on:
             now = time.perf_counter()
-            tracer.record_span("batch.step.broadcast", mark, now,
-                               step=step_index, replicas=replicas)
+            if trace_on:
+                tracer.record_span("batch.step.broadcast", mark, now,
+                                   step=step_index, replicas=replicas)
+            if tele_on:
+                registry.observe("repro_step_phase_seconds", now - mark,
+                                 runtime="batch", phase="broadcast")
             mark = now
 
         gradient_stack: Dict[int, np.ndarray] = {}
@@ -705,10 +713,14 @@ class BatchedGuanYuTrainer:
                 + cost.gradient_time(batch_sizes[w_index], d))
             self.worker_clock[w_index] = completion + compute_time
 
-        if trace_on:
+        if obs_on:
             now = time.perf_counter()
-            tracer.record_span("batch.step.compute", mark, now,
-                               step=step_index, replicas=replicas)
+            if trace_on:
+                tracer.record_span("batch.step.compute", mark, now,
+                                   step=step_index, replicas=replicas)
+            if tele_on:
+                registry.observe("repro_step_phase_seconds", now - mark,
+                                 runtime="batch", phase="compute")
             mark = now
         alive_correct_worker_idx = [
             index for index in active_worker_indices
@@ -765,10 +777,14 @@ class BatchedGuanYuTrainer:
                                           delivered, times)
         if merged:
             self._flush_merged(buffer2, merged, len(self.server_ids))
-        if trace_on:
+        if obs_on:
             now = time.perf_counter()
-            tracer.record_span("batch.step.gather", mark, now,
-                               step=step_index, replicas=replicas)
+            if trace_on:
+                tracer.record_span("batch.step.gather", mark, now,
+                                   step=step_index, replicas=replicas)
+            if tele_on:
+                registry.observe("repro_step_phase_seconds", now - mark,
+                                 runtime="batch", phase="gather")
             mark = now
 
         active_correct_server_idx = [
@@ -788,10 +804,14 @@ class BatchedGuanYuTrainer:
             self.server_clock[s_index] = completion + compute_time
         phase2_end = self._mean_over_nodes(self.server_clock,
                                            alive_correct_idx)
-        if trace_on:
+        if obs_on:
             now = time.perf_counter()
-            tracer.record_span("batch.step.aggregate", mark, now,
-                               step=step_index, replicas=replicas)
+            if trace_on:
+                tracer.record_span("batch.step.aggregate", mark, now,
+                                   step=step_index, replicas=replicas)
+            if tele_on:
+                registry.observe("repro_step_phase_seconds", now - mark,
+                                 runtime="batch", phase="aggregate")
             mark = now
 
         # ------------------------- Phase 3 ------------------------------ #
@@ -834,9 +854,14 @@ class BatchedGuanYuTrainer:
                 + cost.median_time(config.model_quorum, d)
         phase3_end = self._mean_over_nodes(self.server_clock,
                                            alive_correct_idx)
-        if trace_on:
-            tracer.record_span("batch.step.apply", mark, time.perf_counter(),
-                               step=step_index, replicas=replicas)
+        if obs_on:
+            now = time.perf_counter()
+            if trace_on:
+                tracer.record_span("batch.step.apply", mark, now,
+                                   step=step_index, replicas=replicas)
+            if tele_on:
+                registry.observe("repro_step_phase_seconds", now - mark,
+                                 runtime="batch", phase="apply")
 
         # ------------------------- Records ------------------------------ #
         simulated_time = self.server_clock[alive_correct_idx].max(axis=0)
@@ -905,21 +930,27 @@ def _run_single_process(specs: Sequence) -> List[TrainingHistory]:
                        max_eval_samples=base.max_eval_samples)
 
 
-def _run_lane_chunk(task: Tuple[List[Dict], str]) -> List[TrainingHistory]:
+def _run_lane_chunk(task: Tuple[List[Dict], str]
+                    ) -> Tuple[List[TrainingHistory], float]:
     """Pool worker: run one contiguous chunk of replica lanes.
 
     Receives ``(spec payload dicts, backend name)`` — payloads because
     worker processes may be spawned rather than forked, and the backend
     name because an in-process :func:`~repro.kernels.set_backend` override
-    in the parent would otherwise not survive a spawn.
+    in the parent would otherwise not survive a spawn.  Returns the chunk
+    histories plus the chunk's wall-clock seconds, which the parent feeds
+    to the telemetry registry (a chunk worker's own registry is the
+    process-default no-op).
     """
     from repro.campaign.spec import ScenarioSpec  # lazy: avoid import cycle
     from repro.kernels import use_backend
 
     payloads, backend = task
     specs = [ScenarioSpec.from_dict(payload) for payload in payloads]
+    started = time.perf_counter()
     with use_backend(backend):
-        return _run_single_process(specs)
+        histories = _run_single_process(specs)
+    return histories, time.perf_counter() - started
 
 
 def run_batched_scenarios(specs: Sequence, lanes: Optional[int] = None,
@@ -982,5 +1013,10 @@ def run_batched_scenarios(specs: Sequence, lanes: Optional[int] = None,
              for chunk in chunks]
     with multiprocessing.get_context().Pool(
             processes=min(lanes, len(chunks))) as pool:
-        chunk_histories = pool.map(_run_lane_chunk, tasks)
-    return [history for chunk in chunk_histories for history in chunk]
+        chunk_results = pool.map(_run_lane_chunk, tasks)
+    registry = get_registry()
+    if registry.enabled:
+        for _, elapsed in chunk_results:
+            registry.observe("repro_batch_lane_chunk_seconds", elapsed,
+                             backend=backend)
+    return [history for chunk, _ in chunk_results for history in chunk]

@@ -36,6 +36,7 @@ from repro.core.trainer import (
 )
 from repro.obs.history import TrainingHistory
 from repro.kernels import use_backend
+from repro.obs.telemetry import MetricsRegistry, get_registry, use_registry
 from repro.obs.tracer import Tracer, get_tracer, use_tracer
 from repro.runtime.facade import _warn_deprecated
 from repro.runtime.facade import run as run_scenario
@@ -228,21 +229,27 @@ def _run_payload(payload: Dict) -> Dict:
     outer = get_tracer()
     local = Tracer(capacity=50_000,
                    record_decisions=getattr(outer, "record_decisions", False))
+    # Like the trace, metrics recorded inside a pool worker cannot reach
+    # the parent's registry directly — a scenario-local registry rides back
+    # in the payload and the parent merges it (see ``finish_payload``).
+    metrics = MetricsRegistry()
     try:
-        with use_tracer(local):
+        with use_tracer(local), use_registry(metrics):
             history = run_scenario(ScenarioSpec.from_dict(payload)).history
         _forward_trace(outer, local)
         return {"status": "ran", "history": history.to_dict(), "error": None,
                 "traceback": None,
                 "duration": time.perf_counter() - started,
-                "trace_summary": local.summary()}
+                "trace_summary": local.summary(),
+                "metrics_snapshot": metrics.snapshot()}
     except Exception as exc:  # noqa: BLE001 - per-scenario failure isolation
         _forward_trace(outer, local)
         return {"status": "failed", "history": None,
                 "error": f"{type(exc).__name__}: {exc}",
                 "traceback": traceback.format_exc(),
                 "duration": time.perf_counter() - started,
-                "trace_summary": local.summary()}
+                "trace_summary": local.summary(),
+                "metrics_snapshot": metrics.snapshot()}
 
 
 def _forward_trace(outer, local: Tracer) -> None:
@@ -271,22 +278,26 @@ def _run_batched_payloads(payloads: List[Dict],
     started = time.perf_counter()
     outer = get_tracer()
     local = Tracer(capacity=50_000)
+    metrics = MetricsRegistry()
     try:
         specs = [ScenarioSpec.from_dict(payload) for payload in payloads]
-        with use_tracer(local), use_backend(specs[0].kernels if specs
-                                            else None):
+        with use_tracer(local), use_registry(metrics), \
+                use_backend(specs[0].kernels if specs else None):
             histories = run_batched_scenarios(specs, lanes=lanes)
     except Exception:  # noqa: BLE001 - fall back to per-scenario isolation
         return [_run_payload(payload) for payload in payloads]
     _forward_trace(outer, local)
     duration = (time.perf_counter() - started) / max(len(payloads), 1)
     # The group ran as one vectorised execution: every member carries the
-    # same (shared) trace summary.
+    # same (shared) trace summary; the metrics snapshot rides on the first
+    # member only, so the parent merges the group exactly once.
     summary = local.summary()
+    snapshot = metrics.snapshot()
     return [{"status": "ran", "history": history.to_dict(), "error": None,
              "traceback": None, "duration": duration, "batched": True,
-             "trace_summary": summary}
-            for history in histories]
+             "trace_summary": summary,
+             "metrics_snapshot": snapshot if index == 0 else None}
+            for index, history in enumerate(histories)]
 
 
 def _run_indexed_task(item: tuple) -> tuple:
@@ -362,12 +373,21 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
     completed = 0
     outcomes: Dict[str, ScenarioOutcome] = {}
     tracer = get_tracer()
+    registry = get_registry()
     campaign_started = time.perf_counter()
+    if registry.enabled:
+        registry.set_gauge("repro_campaign_scenarios_pending", total)
+        registry.set_gauge("repro_campaign_scenarios_running", 0)
 
     def finish(outcome: ScenarioOutcome) -> None:
         nonlocal completed
         outcomes[outcome.spec.name] = outcome
         completed += 1
+        if registry.enabled:
+            registry.inc("repro_campaign_scenarios_total",
+                         status=outcome.status)
+            registry.set_gauge("repro_campaign_scenarios_pending",
+                               total - completed)
         if progress is not None:
             progress(outcome, completed, total)
 
@@ -382,11 +402,13 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
             # under a different label — relabel for this campaign's view.
             stored.history.label = spec.name
             tracer.count("campaign.cache_hit")
+            registry.inc("repro_campaign_cache_total", result="hit")
             finish(ScenarioOutcome(spec=spec, status="cached",
                                    history=stored.history, store_key=key,
                                    duration_seconds=0.0))
         else:
             tracer.count("campaign.cache_miss")
+            registry.inc("repro_campaign_cache_total", result="miss")
             pending_specs.setdefault(key, []).append(spec)
     pending = [(specs[0], key) for key, specs in pending_specs.items()]
 
@@ -399,6 +421,16 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                                   traceback=payload.get("traceback"),
                                   duration_seconds=payload["duration"],
                                   batched=payload.get("batched", False))
+        if registry.enabled:
+            elapsed = time.perf_counter() - campaign_started
+            registry.observe("repro_campaign_scenario_seconds",
+                             outcome.duration_seconds,
+                             batched="true" if outcome.batched else "false")
+            registry.observe("repro_campaign_queue_wait_seconds",
+                             max(elapsed - outcome.duration_seconds, 0.0))
+            snapshot = payload.get("metrics_snapshot")
+            if snapshot:
+                registry.merge(snapshot)
         if tracer.enabled:
             # Queue wait ≈ time since dispatch not spent executing: exact
             # for serial runs, an upper bound under a busy pool.
@@ -471,10 +503,17 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                       for index, (kind, bucket) in enumerate(tasks)
                       if kind == "batch"]
 
+    def set_running(count: int) -> None:
+        if registry.enabled:
+            registry.set_gauge("repro_campaign_scenarios_running", count)
+
     if processes and processes > 1 and len(pool_tasks) > 1:
         pool_size = min(processes, len(pool_tasks))
         items = [(index, kind, [spec.to_dict() for spec, _ in bucket])
                  for index, (kind, bucket) in pool_tasks]
+        # Under a pool the in-flight count is approximate: the pool is
+        # saturated until fewer tasks remain than workers.
+        set_running(min(pool_size, len(pool_tasks)))
         with multiprocessing.get_context().Pool(pool_size) as pool:
             # Unordered: each result is persisted/reported the moment it
             # completes, so an interruption loses at most the in-flight
@@ -487,19 +526,25 @@ def run_campaign(campaign: Union[CampaignSpec, Iterable[ScenarioSpec]],
                     [spec.to_dict() for spec, _ in bucket], lanes=lanes)
                 for (spec, key), payload in zip(bucket, payloads):
                     finish_payload(spec, key, payload)
+            done_tasks = 0
             for index, payloads in results:
+                done_tasks += 1
+                set_running(min(pool_size, len(pool_tasks) - done_tasks))
                 for (spec, key), payload in zip(tasks[index][1], payloads):
                     finish_payload(spec, key, payload, pooled=True)
     else:
         for kind, bucket in tasks:
+            set_running(len(bucket))
             if kind == "batch":
                 payloads = _run_batched_payloads(
                     [spec.to_dict() for spec, _ in bucket],
                     lanes=lanes if lane_sharding else None)
             else:
                 payloads = [_run_payload(bucket[0][0].to_dict())]
+            set_running(0)
             for (spec, key), payload in zip(bucket, payloads):
                 finish_payload(spec, key, payload)
+    set_running(0)
 
     return CampaignResult(name=name,
                           outcomes=[outcomes[spec.name] for spec in scenarios])

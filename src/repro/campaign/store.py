@@ -29,6 +29,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.campaign.spec import ScenarioSpec
 from repro.obs.history import TrainingHistory
+from repro.obs.telemetry import get_registry
 from repro.obs.tracer import get_tracer
 
 STORE_VERSION = 1
@@ -73,6 +74,11 @@ class ResultStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._sweep_stale_temp_files()
+        registry = get_registry()
+        if registry.enabled:
+            # One scan at open; put() increments from here, so the gauge
+            # stays accurate without a per-write glob.
+            registry.set_gauge("repro_store_entries", len(self.keys()))
 
     def _sweep_stale_temp_files(self) -> None:
         """Remove temp litter left by killed writers.
@@ -109,8 +115,10 @@ class ResultStore:
             status: str = "ran", duration_seconds: Optional[float] = None,
             extra_meta: Optional[Dict] = None) -> str:
         """Persist one result; returns its content-address key."""
+        started = time.perf_counter()
         key = spec.spec_hash()
         path = self.path_for(key)
+        existed = path.is_file()
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": STORE_VERSION,
@@ -133,15 +141,28 @@ class ResultStore:
             json.dump(payload, handle, indent=2, sort_keys=True)
         os.replace(temp_name, path)
         get_tracer().count("store.put")
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("repro_store_ops_total", op="put")
+            registry.observe("repro_store_op_seconds",
+                             time.perf_counter() - started, op="put")
+            if not existed:
+                registry.add_gauge("repro_store_entries", 1)
         return key
 
     def get(self, key: str) -> StoredResult:
+        started = time.perf_counter()
         path = self.path_for(key)
         if not path.is_file():
             raise KeyError(f"no stored result for key '{key}'")
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         get_tracer().count("store.get")
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("repro_store_ops_total", op="get")
+            registry.observe("repro_store_op_seconds",
+                             time.perf_counter() - started, op="get")
         return StoredResult(
             key=payload["key"],
             spec=ScenarioSpec.from_dict(payload["spec"]),

@@ -55,6 +55,15 @@ perturbing the run; ``trace`` summarises such a file and ``report``
 renders its per-phase breakdown table and ASCII span timeline;
 ``--log-level`` / ``--log-json`` configure structured logging for every
 subcommand.
+
+Live telemetry (see ``docs/telemetry.md``): ``sweep --metrics-port`` and
+``cluster --metrics-port`` serve the run's metrics registry over HTTP on
+127.0.0.1 — ``/metrics`` (Prometheus text), ``/status`` (progress JSON),
+``/healthz`` — and ``monitor`` polls such an endpoint into a live ASCII
+dashboard.  A trace destination ending in ``.gz`` is gzip-compressed and
+``trace``/``report`` read ``.jsonl.gz`` files transparently; on scenario
+failure or SIGINT/SIGTERM the flight recorder dumps the trace ring and
+final metrics snapshot to ``<name>.crash.json`` beside the store.
 """
 
 from __future__ import annotations
@@ -100,18 +109,27 @@ from repro.faults import FaultSchedule
 from repro.kernels import set_backend
 from repro import __version__
 from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
     Tracer,
     TrainingHistory,
     configure_logging,
+    get_registry,
+    get_tracer,
+    parse_prometheus_text,
     read_jsonl,
+    use_registry,
     use_tracer,
+    write_crash_report,
 )
 from repro.plotting import (
     format_table,
     histories_summary_table,
+    render_dashboard,
     render_histories,
     render_phase_breakdown,
     render_span_timeline,
+    scenarios_completed,
 )
 
 
@@ -145,6 +163,71 @@ def _graceful_interrupt():
     finally:
         if previous is not None:
             signal.signal(signal.SIGTERM, previous)
+
+
+def _flight_record(name: str, reason: str, *,
+                   store: Optional[ResultStore] = None,
+                   trace_path: Optional[str] = None,
+                   context: Optional[Dict] = None) -> None:
+    """Dump the flight recorder (trace ring + metrics snapshot) to disk.
+
+    Called on scenario failure and on SIGINT/SIGTERM so post-mortems have
+    the observability state that would otherwise die with the process.
+    Best-effort: a full disk must not mask the original failure.
+    """
+    try:
+        path = write_crash_report(
+            name, reason,
+            store_root=str(store.root) if store is not None else None,
+            trace_path=trace_path, tracer=get_tracer(),
+            registry=get_registry(), context=context)
+    except OSError as exc:  # pragma: no cover - disk-full/permission paths
+        print(f"warning: could not write crash report: {exc}",
+              file=sys.stderr)
+    else:
+        print(f"(flight recorder: {path})", file=sys.stderr)
+
+
+def _dump_metrics_snapshot(path: Optional[str]) -> None:
+    """Write the active registry's snapshot JSON (``--metrics-snapshot``).
+
+    A no-op without the flag; with it, the file is written even after an
+    interrupt so CI can archive the final telemetry state unconditionally.
+    """
+    if not path:
+        return
+    registry = get_registry()
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(registry.snapshot(), handle, indent=2, sort_keys=True,
+                      default=str)
+    except OSError as exc:
+        print(f"warning: could not write metrics snapshot to {path}: {exc}",
+              file=sys.stderr)
+    else:
+        print(f"(wrote metrics snapshot to {path})", file=sys.stderr)
+
+
+@contextlib.contextmanager
+def _metrics_endpoint(port: Optional[int], status):
+    """Install a fresh registry and serve it over HTTP for one command.
+
+    ``port`` of ``None`` (flag not given) keeps telemetry at the no-op
+    default: zero hot-path cost, no socket bound.  ``0`` binds an
+    ephemeral port (printed so callers can find it).
+    """
+    if port is None:
+        yield None
+        return
+    registry = MetricsRegistry()
+    with use_registry(registry), \
+            MetricsServer(port, registry=registry, status=status) as server:
+        # stderr: 'cluster --json' and piped sweeps keep stdout machine-
+        # readable, and CI still sees the bound (possibly ephemeral) port.
+        print(f"metrics endpoint: {server.url}/metrics  "
+              f"(/status, /healthz; 'repro monitor --port {server.port}')",
+              file=sys.stderr, flush=True)
+        yield server
 
 
 def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
@@ -449,9 +532,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         processes = max(1, min(os.cpu_count() or 1, 8))
 
     started = time.perf_counter()
+    # Shared with the /status endpoint's serving thread; plain key updates
+    # on a dict are atomic under the GIL, and the endpoint copies it per
+    # request, so no further locking is needed.
+    progress_state: Dict[str, object] = {
+        "command": "sweep", "campaign": campaign_name,
+        "total": len(scenarios), "completed": 0,
+        "counts": {"ran": 0, "cached": 0, "failed": 0},
+        "elapsed_seconds": 0.0,
+        "store": str(store.root) if store is not None else None,
+    }
 
     def report_progress(outcome, completed, total) -> None:
         elapsed = time.perf_counter() - started
+        counts = dict(progress_state["counts"])
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        progress_state.update(completed=completed, counts=counts,
+                              elapsed_seconds=round(elapsed, 3))
         line = f"[{completed}/{total}] {outcome.status:<6} {outcome.spec.name}"
         if outcome.status == "ran":
             line += f" ({outcome.duration_seconds:.2f}s"
@@ -463,44 +560,59 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         # and progress would otherwise arrive only at campaign end.
         print(line, flush=True)
 
-    try:
-        with _graceful_interrupt():
-            result = run_campaign(scenarios, name=campaign_name, store=store,
-                                  processes=processes,
-                                  progress=report_progress,
-                                  batch_seeds=args.batch_seeds,
-                                  lanes=args.lanes)
-    except KeyboardInterrupt:
-        # Completed scenarios were persisted the moment they finished (the
-        # engine calls store.put per outcome), so the interrupt loses only
-        # the in-flight work.
+    with _metrics_endpoint(args.metrics_port, lambda: dict(progress_state)):
+        try:
+            with _graceful_interrupt():
+                result = run_campaign(scenarios, name=campaign_name,
+                                      store=store, processes=processes,
+                                      progress=report_progress,
+                                      batch_seeds=args.batch_seeds,
+                                      lanes=args.lanes)
+        except KeyboardInterrupt:
+            # Completed scenarios were persisted the moment they finished
+            # (the engine calls store.put per outcome), so the interrupt
+            # loses only the in-flight work; the flight recorder preserves
+            # the trace ring and telemetry snapshot for the post-mortem.
+            _flight_record(campaign_name, "interrupted", store=store,
+                           trace_path=args.trace,
+                           context=dict(progress_state))
+            _dump_metrics_snapshot(args.metrics_snapshot)
+            if store is not None:
+                print(f"\ninterrupted: completed results already flushed to "
+                      f"{store.root} ({len(store)} entries); re-run the same "
+                      f"sweep to resume", flush=True)
+            else:
+                print("\ninterrupted (no --store given: completed results "
+                      "were not persisted)", flush=True)
+            return EXIT_INTERRUPTED
+        if result.failures():
+            _flight_record(
+                campaign_name, "scenario-failure", store=store,
+                trace_path=args.trace,
+                context={"failed": [outcome.spec.name for outcome
+                                    in result.failures()]})
+        elapsed = time.perf_counter() - started
+        counts = result.counts()
+        num_batched = sum(1 for outcome in result.outcomes if outcome.batched)
+        batched_note = f" ({num_batched} batched)" if num_batched else ""
+        # One-line machine-greppable summary; the scheduled CI workflow
+        # relies on this line plus the non-zero exit code below to detect
+        # failures.
+        print(f"\ncampaign '{result.name}': {len(result.outcomes)} scenarios "
+              f"— ran {counts['ran']}{batched_note}, "
+              f"cached {counts['cached']}, "
+              f"failed {counts['failed']} in {elapsed:.1f}s "
+              f"({processes} process(es))")
         if store is not None:
-            print(f"\ninterrupted: completed results already flushed to "
-                  f"{store.root} ({len(store)} entries); re-run the same "
-                  f"sweep to resume", flush=True)
-        else:
-            print("\ninterrupted (no --store given: completed results were "
-                  "not persisted)", flush=True)
-        return EXIT_INTERRUPTED
-    elapsed = time.perf_counter() - started
-    counts = result.counts()
-    num_batched = sum(1 for outcome in result.outcomes if outcome.batched)
-    batched_note = f" ({num_batched} batched)" if num_batched else ""
-    # One-line machine-greppable summary; the scheduled CI workflow relies
-    # on this line plus the non-zero exit code below to detect failures.
-    print(f"\ncampaign '{result.name}': {len(result.outcomes)} scenarios — "
-          f"ran {counts['ran']}{batched_note}, cached {counts['cached']}, "
-          f"failed {counts['failed']} in {elapsed:.1f}s "
-          f"({processes} process(es))")
-    if store is not None:
-        print(f"result store: {store.root} ({len(store)} entries)")
-    histories = result.histories()
-    if histories:
-        print("\n" + histories_summary_table(histories))
-    for outcome in result.failures():
-        print(f"FAILED {outcome.spec.name}: {outcome.error}")
-    _dump_json(args.json, _histories_payload(histories))
-    return 1 if result.failures() else 0
+            print(f"result store: {store.root} ({len(store)} entries)")
+        histories = result.histories()
+        if histories:
+            print("\n" + histories_summary_table(histories))
+        for outcome in result.failures():
+            print(f"FAILED {outcome.spec.name}: {outcome.error}")
+        _dump_json(args.json, _histories_payload(histories))
+        _dump_metrics_snapshot(args.metrics_snapshot)
+        return 1 if result.failures() else 0
 
 
 # --------------------------------------------------------------------------- #
@@ -553,39 +665,69 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         return 1
     runtime = ClusterRuntime(spec,
                              options=ClusterOptions(transport=args.transport))
-    started = time.perf_counter()
-    try:
-        with _graceful_interrupt():
-            history = runtime.run(spec.num_steps)
-    except KeyboardInterrupt:
-        # Supervisor.run tears the node processes down in its ``finally``
-        # before the interrupt reaches us; a single scenario has no partial
-        # result worth flushing.
-        print("\ninterrupted: cluster torn down, no completed result to "
-              "flush", file=sys.stderr)
-        return EXIT_INTERRUPTED
-    except SupervisorError as exc:
-        print(f"error: cluster run failed: {exc}", file=sys.stderr)
+
+    def cluster_status() -> Dict:
         report = runtime.report()
-        if report is not None:
-            print("\nNode lifecycle at failure:", file=sys.stderr)
-            print(format_table(_cluster_report_rows(report)), file=sys.stderr)
-        return 1
-    elapsed = time.perf_counter() - started
-    report = runtime.report()
-    print(f"cluster run '{spec.name}' — {spec.num_servers} server(s) + "
-          f"{spec.num_workers} worker(s) as OS processes over "
-          f"{report['transport']} sockets, {spec.num_steps} step(s) in "
-          f"{elapsed:.1f}s\n")
-    print(histories_summary_table({spec.name: history}))
-    print("\nNode lifecycle:")
-    print(format_table(_cluster_report_rows(report)))
-    if store is not None:
-        key = store.put(spec, history, duration_seconds=elapsed)
-        print(f"\nresult store: {store.root} ({len(store)} entries; "
-              f"this run: {key[:12]})")
-    _dump_json(args.json, {"history": history.to_dict(), "report": report})
-    return 0
+        return {"command": "cluster", "scenario": spec.name,
+                "report": report if report is not None else {}}
+
+    started = time.perf_counter()
+    with _metrics_endpoint(args.metrics_port, cluster_status):
+        try:
+            with _graceful_interrupt():
+                history = runtime.run(spec.num_steps)
+        except KeyboardInterrupt:
+            # Supervisor.run tears the node processes down in its
+            # ``finally`` before the interrupt reaches us; a single
+            # scenario has no partial result worth flushing, but the
+            # flight recorder keeps the trace ring + metrics snapshot.
+            _flight_record(spec.name, "interrupted", store=store,
+                           trace_path=args.trace)
+            print("\ninterrupted: cluster torn down, no completed result "
+                  "to flush", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        except SupervisorError as exc:
+            _flight_record(spec.name, "cluster-failure", store=store,
+                           trace_path=args.trace,
+                           context={"error": str(exc)})
+            print(f"error: cluster run failed: {exc}", file=sys.stderr)
+            report = runtime.report()
+            if report is not None:
+                if args.json_report:
+                    print(json.dumps(report, indent=2, sort_keys=True,
+                                     default=str))
+                else:
+                    print("\nNode lifecycle at failure:", file=sys.stderr)
+                    print(format_table(_cluster_report_rows(report)),
+                          file=sys.stderr)
+            return 1
+        elapsed = time.perf_counter() - started
+        report = runtime.report()
+        key = (store.put(spec, history, duration_seconds=elapsed)
+               if store is not None else None)
+        if args.json_report:
+            # Machine-readable mode: stdout is one JSON document carrying
+            # the supervisor report (per-incarnation pids, exit codes,
+            # probe timeouts) instead of the lifecycle table.
+            print(json.dumps({"scenario": spec.name,
+                              "elapsed_seconds": round(elapsed, 3),
+                              "report": report,
+                              "store_key": key},
+                             indent=2, sort_keys=True, default=str))
+        else:
+            print(f"cluster run '{spec.name}' — {spec.num_servers} "
+                  f"server(s) + {spec.num_workers} worker(s) as OS "
+                  f"processes over {report['transport']} sockets, "
+                  f"{spec.num_steps} step(s) in {elapsed:.1f}s\n")
+            print(histories_summary_table({spec.name: history}))
+            print("\nNode lifecycle:")
+            print(format_table(_cluster_report_rows(report)))
+            if store is not None:
+                print(f"\nresult store: {store.root} ({len(store)} entries; "
+                      f"this run: {key[:12]})")
+        _dump_json(args.json, {"history": history.to_dict(),
+                               "report": report})
+        return 0
 
 
 # --------------------------------------------------------------------------- #
@@ -755,6 +897,73 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Monitor subcommand (live-telemetry dashboard)
+# --------------------------------------------------------------------------- #
+def _fetch_endpoint(base: str, timeout: float):
+    """One poll: parsed /metrics families + /status JSON document."""
+    import urllib.request
+
+    with urllib.request.urlopen(base + "/metrics", timeout=timeout) as reply:
+        families = parse_prometheus_text(reply.read().decode("utf-8"))
+    with urllib.request.urlopen(base + "/status", timeout=timeout) as reply:
+        status = json.loads(reply.read().decode("utf-8"))
+    return families, status
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Poll a --metrics-port endpoint and render a live ASCII dashboard."""
+    import urllib.error
+
+    if args.url:
+        base = args.url.rstrip("/")
+    elif args.port is not None:
+        base = f"http://127.0.0.1:{args.port}"
+    else:
+        print("error: monitor needs --port or --url", file=sys.stderr)
+        return 2
+    rates: list = []
+    previous_completed: Optional[float] = None
+    previous_poll: Optional[float] = None
+    frames = 0
+    families: Dict = {}
+    status: Dict = {}
+    try:
+        while True:
+            try:
+                families, status = _fetch_endpoint(base, args.timeout)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                if frames:
+                    # The watched run finished and closed its endpoint —
+                    # that is the dashboard's normal end, not a failure.
+                    print(f"\nendpoint {base} gone ({exc}); monitored run "
+                          f"finished?", file=sys.stderr)
+                    break
+                print(f"error: cannot poll {base}: {exc}", file=sys.stderr)
+                return 1
+            now = time.perf_counter()
+            completed = scenarios_completed(families)
+            if previous_completed is not None and now > previous_poll:
+                rates.append((completed - previous_completed)
+                             / (now - previous_poll))
+                rates[:] = rates[-120:]
+            previous_completed, previous_poll = completed, now
+            frame = render_dashboard(families, status, throughput=rates,
+                                     width=args.width)
+            if frames and not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(frame, flush=True)
+            frames += 1
+            if args.iterations is not None and frames >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass  # Ctrl-C is how an open-ended watch ends — not an error
+    _dump_json(args.json, {"status": status,
+                           "families": list(families.values())})
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -875,6 +1084,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "guanyu_threaded; see docs/cluster.md)")
     sweep.add_argument("--skip-invalid", action="store_true",
                        help="drop inadmissible grid cells instead of failing")
+    sweep.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="serve live telemetry over HTTP on 127.0.0.1 "
+                            "(/metrics Prometheus text, /status campaign "
+                            "progress, /healthz); 0 picks an ephemeral "
+                            "port; watch it with 'repro monitor'")
+    sweep.add_argument("--metrics-snapshot", default=None, metavar="FILE",
+                       help="write the final telemetry snapshot JSON here "
+                            "(also on interrupt); implies nothing unless "
+                            "--metrics-port enabled telemetry")
     sweep.set_defaults(func=cmd_sweep)
 
     cluster = subparsers.add_parser(
@@ -897,6 +1115,19 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--store", default=None,
                          help="result-store directory to persist the "
                               "history under its content address")
+    cluster.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve live telemetry over HTTP on 127.0.0.1 "
+                              "(node liveness/incarnation gauges, probe "
+                              "RTTs, frame/byte counters); 0 picks an "
+                              "ephemeral port")
+    # dest avoids the root parser's global `--json PATH`; as a subcommand
+    # flag this is a boolean mode switch, not an output path.
+    cluster.add_argument("--json", dest="json_report", action="store_true",
+                         help="print the supervisor report (per-incarnation "
+                              "pids, exit codes, probe timeouts) as one "
+                              "JSON document instead of the lifecycle "
+                              "table")
     cluster.set_defaults(func=cmd_cluster)
 
     resilience = subparsers.add_parser(
@@ -990,6 +1221,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--node", default=None,
                         help="restrict the timeline to one node id")
     report.set_defaults(func=cmd_report)
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="poll a --metrics-port endpoint and render a live ASCII "
+             "dashboard (throughput, phases, node health, GAR gauges)")
+    monitor.add_argument("--port", type=int, default=None,
+                         help="metrics port on 127.0.0.1 (the value given "
+                              "to sweep/cluster --metrics-port)")
+    monitor.add_argument("--url", default=None,
+                         help="full endpoint base URL (overrides --port)")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls (default: 2)")
+    monitor.add_argument("--iterations", type=int, default=None, metavar="N",
+                         help="stop after N dashboard frames "
+                              "(default: run until Ctrl-C)")
+    monitor.add_argument("--timeout", type=float, default=5.0,
+                         help="HTTP timeout per poll (default: 5)")
+    monitor.add_argument("--width", type=int, default=72,
+                         help="dashboard width in characters (default: 72)")
+    monitor.add_argument("--no-clear", action="store_true",
+                         help="append frames instead of clearing the "
+                              "screen (for logs/CI)")
+    monitor.set_defaults(func=cmd_monitor)
     return parser
 
 

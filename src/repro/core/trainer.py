@@ -35,6 +35,7 @@ from repro.hetero import DEFAULT_PROFILE, HeteroSpec, WorkerProfile
 from repro.aggregation.decision import decide
 from repro.metrics.accuracy import evaluate_accuracy
 from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.telemetry import get_registry
 from repro.obs.tracer import get_tracer
 from repro.network.delays import DelayModel, UniformDelay
 from repro.network.message import MessageKind
@@ -424,6 +425,7 @@ class GuanYuTrainer(DistributedTrainer):
         d = self.billed_parameters
         serialization = self._serialization()
         tracer = get_tracer()
+        registry = get_registry()
         if self.fault_controller is not None:
             self.fault_controller.on_step(step_index)
         active_worker_ids, active_server_ids = self._participants(step_index)
@@ -448,7 +450,9 @@ class GuanYuTrainer(DistributedTrainer):
         # Every participating parameter server broadcasts its model to
         # every worker.
         worker_ids = [worker.node_id for worker in self.workers]
-        with tracer.span("seq.step.broadcast", step=step_index):
+        with tracer.span("seq.step.broadcast", step=step_index), \
+                registry.timer("repro_step_phase_seconds",
+                               runtime="seq", phase="broadcast"):
             for server in self.servers:
                 if server.node_id not in active_server_ids:
                     continue
@@ -476,7 +480,9 @@ class GuanYuTrainer(DistributedTrainer):
         alive_workers = [w for w in self.workers
                          if w.node_id in active_worker_ids]
         with tracer.span("seq.step.compute", step=step_index,
-                         workers=len(alive_workers)):
+                         workers=len(alive_workers)), \
+                registry.timer("repro_step_phase_seconds",
+                               runtime="seq", phase="compute"):
             for worker in alive_workers:
                 record = self.network.collect_quorum(
                     worker.node_id, MessageKind.MODEL_TO_WORKER, step_index,
@@ -501,7 +507,9 @@ class GuanYuTrainer(DistributedTrainer):
         # Every participating worker broadcasts its gradient to every
         # parameter server.
         server_ids = [server.node_id for server in self.servers]
-        with tracer.span("seq.step.gather", step=step_index):
+        with tracer.span("seq.step.gather", step=step_index), \
+                registry.timer("repro_step_phase_seconds",
+                               runtime="seq", phase="gather"):
             for worker in alive_workers:
                 result = results[worker.node_id]
                 if worker.is_byzantine:
@@ -531,7 +539,9 @@ class GuanYuTrainer(DistributedTrainer):
         byzantine_worker_ids = {w.node_id for w in self.workers
                                 if w.is_byzantine}
         with tracer.span("seq.step.aggregate", step=step_index,
-                         servers=len(active_servers)):
+                         servers=len(active_servers)), \
+                registry.timer("repro_step_phase_seconds",
+                               runtime="seq", phase="aggregate"):
             for server in active_servers:
                 record = self.network.collect_quorum(
                     server.node_id, MessageKind.GRADIENT_TO_SERVER, step_index,
@@ -549,6 +559,29 @@ class GuanYuTrainer(DistributedTrainer):
                                       attacker_indices=attacker_positions)
                     tracer.event("seq.gar.decision", step=step_index,
                                  node=server.node_id, **decision.to_dict())
+                    if registry.enabled:
+                        # The recomputation stays gated behind decision
+                        # records; telemetry only folds the result into
+                        # its per-rule acceptance gauges.
+                        rule = decision.rule
+                        registry.inc("repro_gar_decisions_total", rule=rule)
+                        if decision.attacker_indices:
+                            registry.inc("repro_gar_attackers_offered_total",
+                                         len(decision.attacker_indices),
+                                         rule=rule)
+                            registry.inc("repro_gar_attackers_selected_total",
+                                         decision.attackers_selected,
+                                         rule=rule)
+                            offered = registry.counter(
+                                "repro_gar_attackers_offered_total"
+                            ).value(rule=rule)
+                            admitted = registry.counter(
+                                "repro_gar_attackers_selected_total"
+                            ).value(rule=rule)
+                            registry.set_gauge(
+                                "repro_gar_attacker_acceptance",
+                                admitted / offered if offered else 0.0,
+                                rule=rule)
                 server.apply_gradients(record.payloads, step_index)
                 compute_time = (cost.aggregation_time(self.gradient_rule_name,
                                                       config.gradient_quorum, d)
@@ -562,7 +595,9 @@ class GuanYuTrainer(DistributedTrainer):
         # Every live parameter server broadcasts its updated model to the
         # others and installs the coordinate-wise median of the first q
         # received.
-        with tracer.span("seq.step.apply", step=step_index):
+        with tracer.span("seq.step.apply", step=step_index), \
+                registry.timer("repro_step_phase_seconds",
+                               runtime="seq", phase="apply"):
             for server in self.servers:
                 if server.node_id not in active_server_ids:
                     continue

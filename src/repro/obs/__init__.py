@@ -5,13 +5,33 @@ This package answers "what happened during a run" at three granularities:
 * :mod:`repro.obs.tracer` — spans/events/counters on the **real** clock
   (``time.perf_counter``), with a hard zero-perturbation guarantee so the
   cross-runtime equivalence invariants survive tracing;
+* :mod:`repro.obs.telemetry` — live metrics (counters/gauges/histograms
+  with label sets) under the same zero-perturbation contract, snapshot/
+  merge across processes, Prometheus text exposition;
+* :mod:`repro.obs.httpd` — serve the active registry over HTTP
+  (``/metrics``, ``/healthz``, ``/status``);
+* :mod:`repro.obs.crash` — flight recorder dumping trace ring + metrics
+  snapshot to ``*.crash.json`` on failure or interruption;
 * :mod:`repro.obs.history` — the per-step :class:`TrainingHistory` on the
   **simulated** clock (moved here from ``repro.metrics.tracker``);
 * :mod:`repro.obs.logging` — structured logging config for the CLI.
 """
 
+from repro.obs.crash import crash_report_path, write_crash_report
 from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.httpd import MetricsServer
 from repro.obs.logging import configure_logging
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    parse_prometheus_text,
+    set_registry,
+    use_registry,
+)
 from repro.obs.tracer import (
     NullTracer,
     TraceEvent,
@@ -32,5 +52,17 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "read_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "parse_prometheus_text",
+    "MetricsServer",
+    "write_crash_report",
+    "crash_report_path",
     "configure_logging",
 ]

@@ -27,6 +27,7 @@ read, a truthiness check, and an early return per hook.
 
 from __future__ import annotations
 
+import gzip
 import json
 import threading
 import time
@@ -158,7 +159,12 @@ class NullTracer:
     def summary(self) -> Dict[str, Any]:
         return {"spans": {}, "counters": {}, "events": 0, "dropped": 0}
 
-    def write_jsonl(self, destination: Union[str, TextIO]) -> int:
+    def write_jsonl(self, destination: Union[str, TextIO],
+                    compress: Optional[bool] = None) -> int:
+        return 0
+
+    def export(self, destination: Union[str, TextIO],
+               compress: Optional[bool] = None) -> int:
         return 0
 
 
@@ -322,12 +328,17 @@ class Tracer:
     # ------------------------------------------------------------------ #
     # Export
     # ------------------------------------------------------------------ #
-    def write_jsonl(self, destination: Union[str, TextIO]) -> int:
+    def write_jsonl(self, destination: Union[str, TextIO],
+                    compress: Optional[bool] = None) -> int:
         """Write retained records (plus counter snapshots) as JSON Lines.
 
         Returns the number of lines written.  Counters are appended as
         ``kind="counter"`` records with the accumulated value, so a JSONL
         file is self-contained.
+
+        ``compress`` gzips the output (long cluster traces shrink ~20x);
+        the default ``None`` infers it from a ``.gz`` path suffix.  It is
+        an error to request compression for a text stream destination.
         """
         records = self.events()
         counters = self.counters()
@@ -338,19 +349,41 @@ class Tracer:
             counter = TraceEvent(name=name, kind="counter", ts=now,
                                  attrs={"value": counters[name]})
             lines.append(json.dumps(counter.to_dict(), separators=(",", ":")))
+        text = "\n".join(lines) + ("\n" if lines else "")
         if isinstance(destination, str):
-            with open(destination, "w", encoding="utf-8") as handle:
-                handle.write("\n".join(lines) + ("\n" if lines else ""))
+            if compress is None:
+                compress = destination.endswith(".gz")
+            if compress:
+                with gzip.open(destination, "wt", encoding="utf-8") as handle:
+                    handle.write(text)
+            else:
+                with open(destination, "w", encoding="utf-8") as handle:
+                    handle.write(text)
         else:
-            destination.write("\n".join(lines) + ("\n" if lines else ""))
+            if compress:
+                raise ValueError(
+                    "compress=True requires a path destination, not a stream")
+            destination.write(text)
         return len(lines)
+
+    # ``export`` is the documented name; ``write_jsonl`` predates it and
+    # stays as an alias for existing callers.
+    export = write_jsonl
 
 
 def read_jsonl(source: Union[str, TextIO]) -> List[TraceEvent]:
-    """Parse a trace JSONL file back into :class:`TraceEvent` records."""
+    """Parse a trace JSONL file back into :class:`TraceEvent` records.
+
+    Paths ending in ``.gz`` (or starting with the gzip magic bytes) are
+    decompressed transparently, so ``repro trace``/``repro report`` accept
+    compressed exports unchanged.
+    """
     if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        with open(source, "rb") as handle:
+            raw = handle.read()
+        if raw[:2] == b"\x1f\x8b":
+            raw = gzip.decompress(raw)
+        text = raw.decode("utf-8")
     else:
         text = source.read()
     records = []

@@ -7,6 +7,7 @@ directly in a terminal or a CI log.
 """
 
 from repro.plotting.ascii import AsciiChart, render_histories, sparkline
+from repro.plotting.monitor import render_dashboard, scenarios_completed
 from repro.plotting.tables import format_table, histories_summary_table
 from repro.plotting.timeline import (
     phase_breakdown_rows,
@@ -23,4 +24,6 @@ __all__ = [
     "phase_breakdown_rows",
     "render_phase_breakdown",
     "render_span_timeline",
+    "render_dashboard",
+    "scenarios_completed",
 ]

@@ -1,0 +1,170 @@
+"""ASCII dashboard for the live-telemetry endpoint (``repro monitor``).
+
+The dashboard is a pure function of parsed ``/metrics`` families (see
+:func:`repro.obs.telemetry.parse_prometheus_text`) plus the ``/status``
+JSON document, so it renders identically from a live poll, a captured
+snapshot, or a test fixture.  The polling loop, screen clearing and
+throughput-rate bookkeeping live in the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.plotting.ascii import sparkline
+from repro.plotting.tables import format_table
+
+__all__ = ["render_dashboard", "scenarios_completed"]
+
+
+def _samples(families: Dict[str, Dict[str, Any]],
+             name: str) -> List[Dict[str, Any]]:
+    family = families.get(name)
+    return list(family["samples"]) if family else []
+
+
+def _histogram_stats(families: Dict[str, Dict[str, Any]], name: str,
+                     group_by: Sequence[str]
+                     ) -> Dict[Tuple[str, ...], Dict[str, float]]:
+    """Fold a histogram family's ``_sum``/``_count`` samples per label group."""
+    stats: Dict[Tuple[str, ...], Dict[str, float]] = {}
+    for sample in _samples(families, name):
+        key = tuple(sample["labels"].get(label, "") for label in group_by)
+        entry = stats.setdefault(key, {"sum": 0.0, "count": 0.0})
+        if sample["name"].endswith("_sum"):
+            entry["sum"] += sample["value"]
+        elif sample["name"].endswith("_count"):
+            entry["count"] += sample["value"]
+    return stats
+
+
+def scenarios_completed(families: Dict[str, Dict[str, Any]]) -> float:
+    """Total finished scenarios (all statuses) — the throughput numerator."""
+    return sum(sample["value"]
+               for sample in _samples(families,
+                                      "repro_campaign_scenarios_total"))
+
+
+def _progress_section(status: Dict[str, Any], width: int) -> List[str]:
+    total = status.get("total")
+    if not isinstance(total, (int, float)) or total <= 0:
+        return []
+    completed = float(status.get("completed", 0))
+    bar_width = max(10, width - 24)
+    filled = int(round(min(completed / total, 1.0) * bar_width))
+    bar = "#" * filled + "." * (bar_width - filled)
+    lines = [f"progress  [{bar}] {int(completed)}/{int(total)}"]
+    counts = status.get("counts") or {}
+    if counts:
+        parts = [f"{key}={counts[key]}" for key in ("ran", "cached", "failed")
+                 if key in counts]
+        elapsed = status.get("elapsed_seconds")
+        if isinstance(elapsed, (int, float)):
+            parts.append(f"elapsed={elapsed:.1f}s")
+        lines.append("          " + "  ".join(parts))
+    return lines
+
+
+def _phase_section(families: Dict[str, Dict[str, Any]]) -> List[str]:
+    stats = _histogram_stats(families, "repro_step_phase_seconds",
+                             ("runtime", "phase"))
+    rows = []
+    for (runtime, phase), entry in sorted(stats.items()):
+        count = entry["count"]
+        if not count:
+            continue
+        rows.append({"runtime": runtime, "phase": phase, "calls": int(count),
+                     "total_s": entry["sum"],
+                     "mean_ms": entry["sum"] / count * 1000.0})
+    if not rows:
+        return []
+    return ["", "Step phases:", format_table(rows, float_format="{:.3f}")]
+
+
+def _node_section(families: Dict[str, Dict[str, Any]]) -> List[str]:
+    up = {s["labels"].get("node", ""): s["value"]
+          for s in _samples(families, "repro_cluster_node_up")}
+    if not up:
+        return []
+    incarnations = {s["labels"].get("node", ""): s["value"]
+                    for s in _samples(families,
+                                      "repro_cluster_node_incarnations")}
+    respawns = {s["labels"].get("node", ""): s["value"]
+                for s in _samples(families, "repro_cluster_respawns_total")}
+    rtt = _histogram_stats(families, "repro_cluster_probe_rtt_seconds",
+                           ("node",))
+    rows = []
+    for node in sorted(up):
+        entry = rtt.get((node,), {})
+        count = entry.get("count", 0.0)
+        rows.append({
+            "node": node,
+            "up": "yes" if up[node] else "NO",
+            "incarnations": int(incarnations.get(node, 1)),
+            "respawns": int(respawns.get(node, 0)),
+            "probe_rtt_ms": (entry["sum"] / count * 1000.0) if count else None,
+        })
+    return ["", "Cluster nodes:", format_table(rows, float_format="{:.2f}")]
+
+
+def _gar_section(families: Dict[str, Dict[str, Any]]) -> List[str]:
+    decisions: Dict[str, float] = {}
+    for sample in _samples(families, "repro_gar_decisions_total"):
+        rule = sample["labels"].get("rule", "")
+        decisions[rule] = decisions.get(rule, 0.0) + sample["value"]
+    if not decisions:
+        return []
+    offered = {s["labels"].get("rule", ""): s["value"]
+               for s in _samples(families,
+                                 "repro_gar_attackers_offered_total")}
+    selected = {s["labels"].get("rule", ""): s["value"]
+                for s in _samples(families,
+                                  "repro_gar_attackers_selected_total")}
+    acceptance = {s["labels"].get("rule", ""): s["value"]
+                  for s in _samples(families, "repro_gar_attacker_acceptance")}
+    rows = []
+    for rule in sorted(decisions):
+        rows.append({"rule": rule, "decisions": int(decisions[rule]),
+                     "attackers_offered": int(offered.get(rule, 0)),
+                     "attackers_selected": int(selected.get(rule, 0)),
+                     "acceptance": acceptance.get(rule)})
+    return ["", "GAR decisions:", format_table(rows, float_format="{:.3f}")]
+
+
+def _cache_line(families: Dict[str, Dict[str, Any]]) -> List[str]:
+    by_result = {s["labels"].get("result", ""): s["value"]
+                 for s in _samples(families, "repro_campaign_cache_total")}
+    if not by_result:
+        return []
+    hit = int(by_result.get("hit", 0))
+    miss = int(by_result.get("miss", 0))
+    return [f"cache     hit={hit}  miss={miss}"]
+
+
+def render_dashboard(families: Dict[str, Dict[str, Any]],
+                     status: Optional[Dict[str, Any]] = None, *,
+                     throughput: Sequence[float] = (),
+                     width: int = 72) -> str:
+    """Render one dashboard frame from parsed metrics + status document.
+
+    ``throughput`` is the caller-maintained history of completion rates
+    (scenarios/second between successive polls); the most recent value is
+    shown as the current rate, the whole sequence as a sparkline.
+    """
+    status = status or {}
+    title = str(status.get("command") or "run")
+    name = status.get("campaign") or status.get("scenario")
+    if name:
+        title += f" '{name}'"
+    lines = [f"repro monitor — {title}", "=" * min(width, 78)]
+    lines += _progress_section(status, width)
+    if throughput:
+        spark = sparkline(list(throughput), width=max(10, width - 32))
+        lines.append(f"rate      {throughput[-1]:6.2f} scenario/s |{spark}|")
+    lines += _cache_line(families)
+    lines += _phase_section(families)
+    lines += _node_section(families)
+    lines += _gar_section(families)
+    if len(lines) == 2:
+        lines.append("(no samples yet)")
+    return "\n".join(lines)

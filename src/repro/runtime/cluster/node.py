@@ -85,6 +85,7 @@ class ClusterNodeProcess:
         self.resume_step: int = int(config.get("resume_step", 0))
         self.snapshot = config.get("snapshot")
         self.trace_enabled: bool = bool(config.get("trace", False))
+        self.metrics_enabled: bool = bool(config.get("metrics", False))
         self.send_snapshots: bool = bool(config.get("send_snapshots", False))
         self.debug: Dict = config.get("debug") or {}
         self.address = config["address"]
@@ -318,19 +319,29 @@ class ClusterNodeProcess:
 
     # ------------------------------------------------------------------ #
     def run(self) -> None:
+        from contextlib import ExitStack
+
+        from repro.obs.telemetry import MetricsRegistry, use_registry
         from repro.obs.tracer import Tracer, get_tracer, use_tracer
 
         self._fast_forward()
-        if self.trace_enabled:
-            tracer = Tracer(capacity=20_000)
-            with use_tracer(tracer):
-                self._loop(get_tracer())
+        tracer = Tracer(capacity=20_000) if self.trace_enabled else None
+        registry = MetricsRegistry() if self.metrics_enabled else None
+        with ExitStack() as stack:
+            if tracer is not None:
+                stack.enter_context(use_tracer(tracer))
+            if registry is not None:
+                stack.enter_context(use_registry(registry))
+            self._loop(get_tracer())
+        if tracer is not None:
             self.control.send(
                 "trace",
                 events=[event.to_dict() for event in tracer.events()],
                 counters=tracer.counters(), summary=tracer.summary())
-        else:
-            self._loop(get_tracer())
+        if registry is not None:
+            # The node-local registry travels to the supervisor, which
+            # merges it into the ambient one tagged with this node's id.
+            self.control.send("metrics", snapshot=registry.snapshot())
         self._finish()
         self._shutdown.wait(timeout=30.0)
         self.transport.close()
@@ -362,8 +373,10 @@ class ClusterWorkerProcess(ClusterNodeProcess):
 
     def _loop(self, tracer) -> None:
         from repro.network.message import MessageKind
+        from repro.obs.telemetry import get_registry
 
         worker = self.node
+        registry = get_registry()
         server_ids = self.config.server_ids()
         quorum_timeout = self.spec.quorum_timeout
         for step in range(self.resume_step, self.num_steps):
@@ -374,12 +387,16 @@ class ClusterWorkerProcess(ClusterNodeProcess):
             if self._sits_out(step):
                 continue
             with tracer.span("clu.worker.gather", step=step,
-                             node=worker.node_id):
+                             node=worker.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="cluster", phase="gather"):
                 models = self.transport.wait_quorum(
                     MessageKind.MODEL_TO_WORKER, step,
                     quorum=self.config.model_quorum, timeout=quorum_timeout)
             with tracer.span("clu.worker.compute", step=step,
-                             node=worker.node_id):
+                             node=worker.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="cluster", phase="compute"):
                 result = worker.compute_gradient(models, step)
             if not worker.is_byzantine:
                 if self.adversary is not None \
@@ -420,8 +437,10 @@ class ClusterServerProcess(ClusterNodeProcess):
 
     def _loop(self, tracer) -> None:
         from repro.network.message import MessageKind
+        from repro.obs.telemetry import get_registry
 
         server = self.node
+        registry = get_registry()
         worker_ids = self.config.worker_ids()
         server_ids = self.config.server_ids()
         quorum_timeout = self.spec.quorum_timeout
@@ -435,7 +454,9 @@ class ClusterServerProcess(ClusterNodeProcess):
             self._maybe_straggle()
             # Phase 1: broadcast the current model to the workers.
             with tracer.span("clu.server.broadcast", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="cluster", phase="broadcast"):
                 for worker_id in worker_ids:
                     payload = server.outgoing_model(step, recipient=worker_id)
                     self.transport.send(worker_id,
@@ -443,17 +464,23 @@ class ClusterServerProcess(ClusterNodeProcess):
                                         payload)
             # Phase 2: gather gradients and update.
             with tracer.span("clu.server.gather", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="cluster", phase="gather"):
                 gradients = self.transport.wait_quorum(
                     MessageKind.GRADIENT_TO_SERVER, step,
                     quorum=self.config.gradient_quorum,
                     timeout=quorum_timeout)
             with tracer.span("clu.server.aggregate", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="cluster", phase="aggregate"):
                 server.apply_gradients(gradients, step)
             # Phase 3: exchange models between servers, take the median.
             with tracer.span("clu.server.apply", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="cluster", phase="apply"):
                 for server_id in server_ids:
                     payload = server.outgoing_model(step, recipient=server_id) \
                         if server_id != server.node_id \

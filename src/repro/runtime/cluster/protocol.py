@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.network.message import MessageKind
+from repro.obs.telemetry import get_registry
 
 __all__ = [
     "CONTROL_KINDS",
@@ -63,6 +64,7 @@ CONTROL_KINDS = frozenset({
     "crashed",    # node → supervisor: fault schedule says I crash now
     "observe",    # honest worker → Byzantine worker: gradient copy
     "trace",      # node → supervisor: buffered trace records
+    "metrics",    # node → supervisor: telemetry registry snapshot
     "done",       # node → supervisor: run finished (servers attach params)
     "error",      # node → supervisor: unrecoverable node failure
     "shutdown",   # supervisor → node: exit cleanly
@@ -149,7 +151,13 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
 
 def send_frame(sock: socket.socket, frame: Frame) -> None:
     """Write one frame to a connected socket."""
-    sock.sendall(frame.encode())
+    wire = frame.encode()
+    registry = get_registry()
+    if registry.enabled:
+        registry.inc("repro_cluster_frames_total",
+                     direction="out", kind=frame.kind)
+        registry.inc("repro_cluster_bytes_total", len(wire), direction="out")
+    sock.sendall(wire)
 
 
 def recv_frame(sock: socket.socket) -> Optional[Frame]:
@@ -173,4 +181,12 @@ def recv_frame(sock: socket.socket) -> Optional[Frame]:
     payload = _recv_exact(sock, payload_len) if payload_len else b""
     if payload is None:
         raise FrameError("connection closed inside a frame payload")
-    return Frame.decode(header, payload)
+    frame = Frame.decode(header, payload)
+    registry = get_registry()
+    if registry.enabled:
+        wire_len = (_HEADER_LEN.size + header_len
+                    + _PAYLOAD_LEN.size + payload_len)
+        registry.inc("repro_cluster_frames_total",
+                     direction="in", kind=frame.kind)
+        registry.inc("repro_cluster_bytes_total", wire_len, direction="in")
+    return frame

@@ -49,6 +49,7 @@ from repro.campaign.spec import ScenarioSpec
 from repro.core.nodes import max_pairwise_distance
 from repro.faults import FaultController
 from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.telemetry import get_registry
 from repro.obs.tracer import TraceEvent, get_tracer
 from repro.runtime.cluster.protocol import Frame, FrameError, recv_frame, send_frame
 from repro.runtime.cluster.transport import (
@@ -244,6 +245,7 @@ class Supervisor:
             "resume_step": resume_step,
             "snapshot": snapshot,
             "trace": bool(get_tracer().enabled),
+            "metrics": bool(get_registry().enabled),
             "send_snapshots": self._has_recover and handle.role == "server",
             "debug": self.options.debug_hooks.get(handle.node_id, {}),
         }
@@ -271,6 +273,7 @@ class Supervisor:
         handle.state = "spawned"
         with handle.conn_lock:
             handle.conn = None
+        self._set_node_gauges(handle)
 
     def _kill_current(self, handle: NodeHandle) -> Optional[int]:
         """SIGKILL the node's live process and reap its exit code."""
@@ -360,6 +363,20 @@ class Supervisor:
             self._stop.wait(min(interval / 4, 0.2))
 
     # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def _set_node_gauges(self, handle: NodeHandle) -> None:
+        """Refresh the node's liveness/incarnation gauges (no-op registry
+        when telemetry is off)."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        up = 1.0 if handle.state in ("ready", "running", "done") else 0.0
+        registry.set_gauge("repro_cluster_node_up", up, node=handle.node_id)
+        registry.set_gauge("repro_cluster_node_incarnations",
+                           len(handle.incarnations), node=handle.node_id)
+
+    # ------------------------------------------------------------------ #
     # Fault bookkeeping
     # ------------------------------------------------------------------ #
     def _expects_done(self, handle: NodeHandle) -> bool:
@@ -385,6 +402,7 @@ class Supervisor:
         handle.crashed_steps.append(step)
         handle.state = "killed"
         self._kill_current(handle)
+        self._set_node_gauges(handle)
         resume = self._resume_step_after(handle.node_id, step)
         if resume is None:
             return  # crashed forever; quorums carry the run
@@ -394,6 +412,9 @@ class Supervisor:
                 f"cannot respawn Byzantine node {handle.node_id}: its attack "
                 f"rng state died with the process (schedule honest crashes, "
                 f"or drop the recover event)")
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("repro_cluster_respawns_total", node=handle.node_id)
         self._spawn(handle, resume_step=resume)
 
     # ------------------------------------------------------------------ #
@@ -402,6 +423,7 @@ class Supervisor:
     def _fail(self, message: str, handle: Optional[NodeHandle] = None) -> None:
         if handle is not None:
             handle.state = "failed"
+            self._set_node_gauges(handle)
             if handle.error is None:
                 handle.error = message
             tail = self._log_tail(handle)
@@ -437,6 +459,7 @@ class Supervisor:
         handle.last_pong = now
         handle.last_ping = now
         handle.state = "ready"
+        self._set_node_gauges(handle)
         if self._started:
             # A respawned incarnation: everyone else is already running,
             # so it gets the address map immediately.
@@ -452,7 +475,16 @@ class Supervisor:
     def _on_frame(self, handle: NodeHandle, frame: Frame) -> None:
         kind = frame.kind
         if kind == "pong":
-            handle.last_pong = time.monotonic()
+            now = time.monotonic()
+            handle.last_pong = now
+            registry = get_registry()
+            if registry.enabled:
+                # ``last_ping`` is stamped when the probe leaves, so this
+                # is the PING→PONG round trip through the node's control
+                # thread (plus our event-queue latency).
+                registry.observe("repro_cluster_probe_rtt_seconds",
+                                 max(now - handle.last_ping, 0.0),
+                                 node=handle.node_id)
         elif kind == "loss":
             self._step_losses[frame.step][handle.node_id] = \
                 float(frame.meta["loss"])
@@ -467,10 +499,20 @@ class Supervisor:
             self._handle_crash(handle, frame.step)
         elif kind == "trace":
             self._collect_trace(handle, frame)
+        elif kind == "metrics":
+            # The node's end-of-run registry snapshot: fold it into the
+            # ambient registry with the node id stamped on every series,
+            # so per-node byte counts and phase histograms stay apart.
+            registry = get_registry()
+            snapshot = frame.meta.get("snapshot")
+            if registry.enabled and snapshot:
+                registry.merge(snapshot,
+                               extra_labels={"node": handle.node_id})
         elif kind == "done":
             if handle.role == "server" and frame.payload is not None:
                 self._final_params[handle.node_id] = frame.payload
             handle.state = "done"
+            self._set_node_gauges(handle)
         elif kind == "error":
             handle.error = frame.meta.get("error", "unknown node error")
             self._fail(f"node {handle.node_id} failed: {handle.error}\n"
@@ -511,6 +553,7 @@ class Supervisor:
         if handle.state not in ("ready", "running"):
             return
         handle.state = "probe-timeout"
+        self._set_node_gauges(handle)
         code = self._kill_current(handle)
         raise SupervisorError(
             f"node {handle.node_id} missed health probes for "

@@ -33,6 +33,7 @@ from repro.faults import FaultController, FaultSchedule
 from repro.hetero import DEFAULT_PROFILE, HeteroSpec
 from repro.aggregation import get_rule
 from repro.obs.history import StepRecord, TrainingHistory
+from repro.obs.telemetry import get_registry
 from repro.obs.tracer import get_tracer
 from repro.network.message import Message, MessageKind
 from repro.nn.module import Module
@@ -407,17 +408,22 @@ class ThreadedClusterRuntime:
     def _worker_loop(self, worker: WorkerNode, num_steps: int) -> None:
         server_ids = self.config.server_ids()
         tracer = get_tracer()
+        registry = get_registry()
         for step in range(num_steps):
             if self._sits_out(worker.node_id, step):
                 continue
             with tracer.span("thr.worker.gather", step=step,
-                             node=worker.node_id):
+                             node=worker.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="threads", phase="gather"):
                 models = self.transport.wait_quorum(
                     worker.node_id, MessageKind.MODEL_TO_WORKER, step,
                     quorum=self.config.model_quorum,
                     timeout=self.quorum_timeout)
             with tracer.span("thr.worker.compute", step=step,
-                             node=worker.node_id):
+                             node=worker.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="threads", phase="compute"):
                 result = worker.compute_gradient(models, step)
             if not worker.is_byzantine:
                 board = self._observation_board
@@ -442,13 +448,16 @@ class ThreadedClusterRuntime:
         worker_ids = self.config.worker_ids()
         server_ids = self.config.server_ids()
         tracer = get_tracer()
+        registry = get_registry()
         for step in range(num_steps):
             if self._sits_out(server.node_id, step):
                 continue
             self._maybe_straggle(server.node_id)
             # Phase 1: broadcast the current model to the workers.
             with tracer.span("thr.server.broadcast", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="threads", phase="broadcast"):
                 for worker_id in worker_ids:
                     payload = server.outgoing_model(step, recipient=worker_id)
                     self.transport.send(server.node_id, worker_id,
@@ -457,17 +466,23 @@ class ThreadedClusterRuntime:
             # Phase 2: gather gradients and update (Byzantine servers skip the
             # honest computation — whatever they hold is corrupted on send).
             with tracer.span("thr.server.gather", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="threads", phase="gather"):
                 gradients = self.transport.wait_quorum(
                     server.node_id, MessageKind.GRADIENT_TO_SERVER, step,
                     quorum=self.config.gradient_quorum,
                     timeout=self.quorum_timeout)
             with tracer.span("thr.server.aggregate", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="threads", phase="aggregate"):
                 server.apply_gradients(gradients, step)
             # Phase 3: exchange models between servers and take the median.
             with tracer.span("thr.server.apply", step=step,
-                             node=server.node_id):
+                             node=server.node_id), \
+                    registry.timer("repro_step_phase_seconds",
+                                   runtime="threads", phase="apply"):
                 for server_id in server_ids:
                     payload = server.outgoing_model(step, recipient=server_id) \
                         if server_id != server.node_id \

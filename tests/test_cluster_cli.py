@@ -91,6 +91,21 @@ class TestClusterCommand:
 
     @needs_sockets
     @pytest.mark.timeout(180)
+    def test_json_report_is_one_machine_readable_document(self, capsys):
+        code, out, _ = _run(capsys, BASE + ["cluster", "--json"])
+        assert code == 0
+        document = json.loads(out)  # whole stdout is the JSON document
+        assert document["scenario"] == "cluster"
+        assert document["elapsed_seconds"] > 0.0
+        nodes = document["report"]["nodes"]
+        assert len(nodes) == 7  # 3 servers + 4 workers
+        for info in nodes.values():
+            assert info["state"] == "done"
+            assert info["pids"] and info["exit_codes"] == [0]
+            assert info["respawns"] == 0
+
+    @needs_sockets
+    @pytest.mark.timeout(180)
     def test_sweep_runs_cluster_runtime_end_to_end(self, capsys, tmp_path):
         store_dir = tmp_path / "store"
         code, out, _ = _run(capsys, BASE + [

@@ -12,7 +12,7 @@ uses a tolerance.
 from repro.batch import run_batched_scenarios
 from repro.campaign.engine import execute_scenario, run_campaign
 from repro.campaign.spec import ScenarioSpec
-from repro.obs import Tracer, use_tracer
+from repro.obs import MetricsRegistry, Tracer, use_registry, use_tracer
 
 SEEDS = (0, 1, 7)
 
@@ -105,6 +105,55 @@ class TestThreadedLossTrajectoryTraced:
                  if record.kind == "span"}
         assert "thr.worker.compute" in spans
         assert "thr.server.aggregate" in spans
+
+
+class TestTelemetryUnperturbed:
+    """The metrics registry honours the same zero-perturbation contract."""
+
+    def test_sequential_with_telemetry_equals_plain(self):
+        spec = tiny_spec(worker_attack="random_gradient")
+        baseline = execute_scenario(spec)
+        registry = MetricsRegistry()
+        with use_registry(registry), \
+                use_tracer(Tracer(record_decisions=True)):
+            history = execute_scenario(spec)
+        assert history.to_dict() == baseline.to_dict()
+        # ... and the registry actually measured the run (not vacuous).
+        stats = registry.histogram("repro_step_phase_seconds") \
+            .stats(runtime="seq", phase="aggregate")
+        assert stats is not None and stats["count"] == spec.num_steps
+
+    def test_batched_equals_sequential_with_telemetry_on(self):
+        specs = [ScenarioSpec(name=f"t{seed}", seed=seed, num_steps=8,
+                              eval_every=3, dataset_size=400,
+                              max_eval_samples=64) for seed in SEEDS]
+        sequential = [execute_scenario(spec) for spec in specs]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            batched = run_batched_scenarios(specs)
+        for batched_history, sequential_history in zip(batched, sequential):
+            assert batched_history.to_dict() == sequential_history.to_dict()
+        assert registry.histogram("repro_step_phase_seconds") \
+            .stats(runtime="batch", phase="compute")["count"] == 8
+
+    def test_threaded_losses_with_telemetry_equal_plain(self):
+        # Full quorums, as in the traced variant above: deterministic loss
+        # trajectory despite real threads.
+        spec = tiny_spec(trainer="guanyu_threaded", num_steps=3,
+                         declared_byzantine_workers=0,
+                         gradient_quorum=6, model_quorum=3,
+                         quorum_timeout=30.0)
+
+        def losses(history):
+            return [record.train_loss for record in history.records]
+
+        baseline = execute_scenario(spec)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            history = execute_scenario(spec)
+        assert losses(history) == losses(baseline)
+        assert registry.histogram("repro_step_phase_seconds") \
+            .stats(runtime="threads", phase="compute") is not None
 
 
 class TestCampaignUnperturbed:
