@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The stable API end to end: run scenarios, query the indexed store,
+submit a campaign to an in-process scheduler daemon.
+
+Everything imports straight from the package root — the blessed surface
+(see ``docs/store.md``).  The walkthrough:
+
+1. execute two scenarios through :func:`repro.run`, caching into a
+   :class:`repro.ResultStore`;
+2. query the store through its sidecar index (flat, dotted and meta
+   filters — no entry payload is opened);
+3. start a :class:`CampaignScheduler` + HTTP listener, submit a
+   campaign that overlaps the cached results, and watch the dedupe;
+4. finish with ``fsck`` — the store verifies itself.
+
+Run with::
+
+    python examples/store_service.py
+"""
+
+import json
+import tempfile
+import time
+import urllib.request
+
+from repro import CampaignSpec, ResultStore, ScenarioSpec, run
+from repro.campaign import CampaignScheduler
+from repro.obs import MetricsServer
+
+
+def tiny(seed):
+    return ScenarioSpec(name=f"demo-{seed}", num_workers=6, num_servers=3,
+                        declared_byzantine_workers=1,
+                        declared_byzantine_servers=0, num_steps=4,
+                        eval_every=2, dataset_size=300, seed=seed)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+
+        # 1. the front door: validate, execute, persist
+        for seed in (0, 1):
+            result = run(tiny(seed), store=store)
+            print(f"ran {result.spec.name}: status={result.status} "
+                  f"accuracy={result.history.final_accuracy():.3f}")
+        rerun = run(tiny(0), store=store)
+        print(f"re-ran demo-0: status={rerun.status} (content-address hit)")
+
+        # 2. index-backed queries: no payload opens, lazy histories
+        hits = store.query(seed=1, status="ran")
+        print(f"query(seed=1, status='ran') -> "
+              f"{[r.spec.name for r in hits]} "
+              f"(payload reads so far: {store.payload_reads})")
+
+        # 3. the same store as a service
+        with CampaignScheduler(store) as scheduler, \
+                MetricsServer(0, status=scheduler.status,
+                              routes=scheduler.handle_route) as server:
+            campaign = CampaignSpec(name="night", base=tiny(0),
+                                    grid={"seed": [0, 1, 2]})
+            request = urllib.request.Request(
+                server.url + "/campaigns",
+                data=json.dumps({"campaign": campaign.to_dict()}).encode(),
+                headers={"Content-Type": "application/json"}, method="POST")
+            with urllib.request.urlopen(request, timeout=10) as reply:
+                job = json.load(reply)
+            print(f"submitted {job['id']}: {job['total']} scenario(s), "
+                  f"{job['cached_at_submit']} already in the store")
+            while job["state"] not in ("done", "failed"):
+                time.sleep(0.2)
+                with urllib.request.urlopen(
+                        f"{server.url}/campaigns/{job['id']}",
+                        timeout=10) as reply:
+                    job = json.load(reply)
+            print(f"job finished: {job['state']} — counts {job['counts']}")
+
+        # 4. hygiene: the store checks itself
+        report = store.fsck()
+        print(f"fsck: {report.entries} entries, "
+              f"{'ok' if report.ok else report.issues}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,21 @@ Sub-packages
 ``repro.metrics``      accuracy, throughput, training histories
 ``repro.theory``       contraction / alignment / breakdown-point checks
 
+Stable API (see :mod:`repro.api`)
+---------------------------------
+The blessed, backward-compatible surface is importable straight from the
+package root: :func:`run` (execute one scenario on the runtime its spec
+describes), :class:`ScenarioSpec` / :class:`CampaignSpec` (declarative
+scenarios and grids), :class:`ResultStore` (the indexed result store)
+and :func:`get_registry` / :func:`get_tracer` (ambient telemetry and
+tracing).  These names resolve lazily so ``import repro`` stays light;
+deep imports (``from repro.campaign import ResultStore``, ...) keep
+working unchanged.
+
+>>> from repro import ResultStore, ScenarioSpec, run  # doctest: +SKIP
+>>> result = run(ScenarioSpec(name="demo"), store=ResultStore("results/"))
+... # doctest: +SKIP
+
 Quickstart
 ----------
 >>> from repro import ClusterConfig, GuanYuTrainer
@@ -45,6 +60,20 @@ from repro.core import (
 
 __version__ = "1.0.0"
 
+#: names served lazily from :mod:`repro.api` (PEP 562) — campaign and
+#: runtime machinery must not load on ``import repro`` (heavy, and some
+#: consumers only want the core trainers).
+_API_EXPORTS = (
+    "run",
+    "ScenarioSpec",
+    "CampaignSpec",
+    "ResultStore",
+    "StoredResult",
+    "ScenarioResult",
+    "get_registry",
+    "get_tracer",
+)
+
 __all__ = [
     "ClusterConfig",
     "DistributedTrainer",
@@ -52,4 +81,13 @@ __all__ = [
     "VanillaTrainer",
     "SingleServerKrumTrainer",
     "__version__",
+    *_API_EXPORTS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -12,7 +12,12 @@ declarative, hashable :class:`ScenarioSpec`:
   ``multiprocessing`` pool, with per-scenario failure isolation;
 * :mod:`repro.campaign.store` — a content-addressed on-disk
   :class:`ResultStore` (spec hash → serialised history + metadata) giving
-  caching, resume of interrupted campaigns and cross-campaign queries.
+  caching, resume of interrupted campaigns and cross-campaign queries,
+  answered from the :mod:`repro.campaign.index` sidecar index with
+  :meth:`~ResultStore.fsck` / :meth:`~ResultStore.gc` hygiene;
+* :mod:`repro.campaign.scheduler` — the ``repro serve`` daemon accepting
+  campaign JSON over local HTTP, deduping against the store index and
+  executing through the engine.
 
 The legacy experiment harnesses (``run_attack_sweep``, ``run_gar_ablation``,
 ``run_figure4``, ...) are thin campaign definitions executed by this engine;
@@ -35,7 +40,14 @@ from repro.campaign.engine import (
     execute_scenario,
     run_campaign,
 )
-from repro.campaign.store import ResultStore, StoredResult
+from repro.campaign.index import StoreIndex
+from repro.campaign.scheduler import CampaignScheduler
+from repro.campaign.store import (
+    FsckIssue,
+    FsckReport,
+    ResultStore,
+    StoredResult,
+)
 
 __all__ = [
     "AdversarySpec",
@@ -52,4 +64,8 @@ __all__ = [
     "run_campaign",
     "ResultStore",
     "StoredResult",
+    "StoreIndex",
+    "CampaignScheduler",
+    "FsckIssue",
+    "FsckReport",
 ]

@@ -25,6 +25,11 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli --trace trace.jsonl figure4
     python -m repro.cli trace trace.jsonl
     python -m repro.cli report trace.jsonl --width 72
+    python -m repro.cli serve --store results/ --port 8642 --processes 4
+    python -m repro.cli sweep --gars median --seeds 0 1 \
+        --submit http://127.0.0.1:8642
+    python -m repro.cli store fsck results/
+    python -m repro.cli store gc results/ --dry-run
 
 Every subcommand prints the regenerated table/figure as text (and an ASCII
 chart where the paper has a figure); ``--json PATH`` additionally writes the
@@ -63,7 +68,15 @@ Live telemetry (see ``docs/telemetry.md``): ``sweep --metrics-port`` and
 dashboard.  A trace destination ending in ``.gz`` is gzip-compressed and
 ``trace``/``report`` read ``.jsonl.gz`` files transparently; on scenario
 failure or SIGINT/SIGTERM the flight recorder dumps the trace ring and
-final metrics snapshot to ``<name>.crash.json`` beside the store.
+final metrics snapshot to ``<name>.crash.json`` beside the store (or
+under the global ``--crash-dir``).
+
+Store service (see ``docs/store.md``): ``serve`` runs the campaign
+scheduler daemon — campaigns submitted as JSON over local HTTP are
+deduped against the store's sidecar index and executed through the
+campaign engine; ``sweep --submit URL`` is its client.  ``store fsck``
+verifies a store's entries and index (read-only, exit 1 on problems)
+and ``store gc`` drops failed/corrupt entries and compacts the index.
 """
 
 from __future__ import annotations
@@ -168,6 +181,7 @@ def _graceful_interrupt():
 def _flight_record(name: str, reason: str, *,
                    store: Optional[ResultStore] = None,
                    trace_path: Optional[str] = None,
+                   crash_dir: Optional[str] = None,
                    context: Optional[Dict] = None) -> None:
     """Dump the flight recorder (trace ring + metrics snapshot) to disk.
 
@@ -179,7 +193,7 @@ def _flight_record(name: str, reason: str, *,
         path = write_crash_report(
             name, reason,
             store_root=str(store.root) if store is not None else None,
-            trace_path=trace_path, tracer=get_tracer(),
+            trace_path=trace_path, crash_dir=crash_dir, tracer=get_tracer(),
             registry=get_registry(), context=context)
     except OSError as exc:  # pragma: no cover - disk-full/permission paths
         print(f"warning: could not write crash report: {exc}",
@@ -523,10 +537,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         campaign_name = campaign.name
         scenarios = campaign.expand(
             on_invalid="skip" if args.skip_invalid else "raise")
-        store = ResultStore(args.store) if args.store else None
+        # --submit hands execution to a scheduler daemon; the local
+        # expansion above still validates the campaign before any I/O.
+        store = (ResultStore(args.store)
+                 if args.store and not args.submit else None)
     except (KeyError, ValueError, OSError) as exc:
         print(f"error: invalid campaign: {exc}", file=sys.stderr)
         return 2
+    if args.submit:
+        return _submit_sweep(args, campaign)
     processes = args.processes
     if processes is None:
         processes = max(1, min(os.cpu_count() or 1, 8))
@@ -574,7 +593,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             # loses only the in-flight work; the flight recorder preserves
             # the trace ring and telemetry snapshot for the post-mortem.
             _flight_record(campaign_name, "interrupted", store=store,
-                           trace_path=args.trace,
+                           trace_path=args.trace, crash_dir=args.crash_dir,
                            context=dict(progress_state))
             _dump_metrics_snapshot(args.metrics_snapshot)
             if store is not None:
@@ -588,7 +607,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if result.failures():
             _flight_record(
                 campaign_name, "scenario-failure", store=store,
-                trace_path=args.trace,
+                trace_path=args.trace, crash_dir=args.crash_dir,
                 context={"failed": [outcome.spec.name for outcome
                                     in result.failures()]})
         elapsed = time.perf_counter() - started
@@ -682,13 +701,13 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             # scenario has no partial result worth flushing, but the
             # flight recorder keeps the trace ring + metrics snapshot.
             _flight_record(spec.name, "interrupted", store=store,
-                           trace_path=args.trace)
+                           trace_path=args.trace, crash_dir=args.crash_dir)
             print("\ninterrupted: cluster torn down, no completed result "
                   "to flush", file=sys.stderr)
             return EXIT_INTERRUPTED
         except SupervisorError as exc:
             _flight_record(spec.name, "cluster-failure", store=store,
-                           trace_path=args.trace,
+                           trace_path=args.trace, crash_dir=args.crash_dir,
                            context={"error": str(exc)})
             print(f"error: cluster run failed: {exc}", file=sys.stderr)
             report = runtime.report()
@@ -964,6 +983,138 @@ def cmd_monitor(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------------- #
+# Scheduler daemon (serve) and its sweep client (--submit)
+# --------------------------------------------------------------------------- #
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign scheduler daemon until SIGINT/SIGTERM."""
+    from repro.campaign.scheduler import CampaignScheduler
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        store = ResultStore(args.store)
+        scheduler = CampaignScheduler(
+            store, processes=args.processes,
+            batch_seeds=not args.no_batch_seeds, lanes=args.lanes)
+        with scheduler, MetricsServer(args.port, registry=registry,
+                                      status=scheduler.status,
+                                      routes=scheduler.handle_route
+                                      ) as server:
+            # stdout so wrappers (and the weekly CI smoke) can capture the
+            # bound URL even with --port 0.
+            print(f"scheduler: {server.url}  "
+                  f"(POST /campaigns; GET /campaigns[/<id>], /results, "
+                  f"/metrics, /status; store: {store.root})", flush=True)
+            try:
+                with _graceful_interrupt():
+                    while True:
+                        time.sleep(0.5)
+            except KeyboardInterrupt:
+                print("shutting down: finishing the running job (if any)",
+                      file=sys.stderr, flush=True)
+    return 0
+
+
+def _submit_sweep(args: argparse.Namespace, campaign: CampaignSpec) -> int:
+    """Run ``sweep`` as a client of a ``repro serve`` daemon."""
+    import urllib.error
+    import urllib.request
+
+    base = args.submit.rstrip("/")
+    document = {"campaign": campaign.to_dict(),
+                "options": {"on_invalid":
+                            "skip" if args.skip_invalid else "raise"}}
+    request = urllib.request.Request(
+        base + "/campaigns", data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            job = json.load(response)
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace").strip()
+        print(f"error: scheduler rejected the campaign ({exc.code}): "
+              f"{detail}", file=sys.stderr)
+        return 2
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: cannot reach scheduler at {base}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"submitted '{job['name']}' as {job['id']}: {job['total']} "
+          f"scenario(s), {job['cached_at_submit']} already in the store",
+          flush=True)
+    last_completed = -1
+    try:
+        with _graceful_interrupt():
+            while True:
+                with urllib.request.urlopen(
+                        f"{base}/campaigns/{job['id']}",
+                        timeout=30) as response:
+                    job = json.load(response)
+                if job["completed"] != last_completed:
+                    last_completed = job["completed"]
+                    counts = job.get("counts") or {}
+                    summary = ", ".join(
+                        f"{status} {count}"
+                        for status, count in sorted(counts.items()))
+                    print(f"[{job['completed']}/{job['total']}] "
+                          f"{summary or job['state']}", flush=True)
+                if job["state"] in ("done", "failed"):
+                    break
+                time.sleep(args.poll_interval)
+    except KeyboardInterrupt:
+        # Detaching is not cancelling: the daemon owns the job.
+        print(f"\ndetached: {job['id']} keeps running on the scheduler "
+              f"(poll {base}/campaigns/{job['id']})", flush=True)
+        return EXIT_INTERRUPTED
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: lost the scheduler at {base}: {exc}", file=sys.stderr)
+        return 1
+    for failure in job.get("failures") or []:
+        print(f"FAILED {failure['scenario']}: {failure['error']}")
+    if job.get("error"):
+        print(f"error: {job['error']}", file=sys.stderr)
+    counts = ", ".join(f"{status} {count}" for status, count
+                       in sorted((job.get("counts") or {}).items()))
+    print(f"campaign '{job['name']}' ({job['id']}): {job['state']}"
+          + (f" — {counts}" if counts else ""))
+    return 0 if job["state"] == "done" else 1
+
+
+# --------------------------------------------------------------------------- #
+# Store hygiene (store fsck / store gc)
+# --------------------------------------------------------------------------- #
+def cmd_store_fsck(args: argparse.Namespace) -> int:
+    store = ResultStore(args.root)
+    report = store.fsck()
+    print(f"fsck {store.root}: {report.entries} entr(ies) in "
+          f"{report.shards} shard(s), {report.stale_temps} stale temp "
+          f"file(s)")
+    for issue in report.issues:
+        print(f"  {issue.kind}: {issue.detail}")
+    if report.ok:
+        print("ok: entries, index and telemetry agree")
+    else:
+        print(f"{len(report.issues)} problem(s) found "
+              f"('repro store gc' removes corrupt/failed entries and "
+              f"recompacts the index)")
+    _dump_json(args.json, report.to_dict())
+    return 0 if report.ok else 1
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.root)
+    stats = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"gc {store.root}: {verb} {stats['removed_failed']} failed and "
+          f"{stats['removed_corrupt']} corrupt entr(ies), "
+          f"{stats['orphan_rows_dropped']} orphan index row(s), "
+          f"{stats['stale_temps_removed']} stale temp file(s); "
+          f"compacted {stats['shards_compacted']} shard index(es); "
+          f"{stats['entries']} entr(ies) remain")
+    _dump_json(args.json, stats)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
@@ -993,6 +1144,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record a structured trace of the run "
                              "(spans/events/counters) to this JSONL file; "
                              "inspect it with 'repro trace' / 'repro report'")
+    parser.add_argument("--crash-dir", default=None, metavar="DIR",
+                        help="directory for flight-recorder *.crash.json "
+                             "dumps (default: beside the --store, else "
+                             "beside the trace file, else the working "
+                             "directory)")
     parser.add_argument("--kernel-backend", default=None, metavar="NAME",
                         help="kernel backend for this process (see "
                              "repro.kernels; overrides the "
@@ -1089,6 +1245,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(/metrics Prometheus text, /status campaign "
                             "progress, /healthz); 0 picks an ephemeral "
                             "port; watch it with 'repro monitor'")
+    sweep.add_argument("--submit", default=None, metavar="URL",
+                       help="submit the campaign to a 'repro serve' "
+                            "scheduler daemon at URL (e.g. "
+                            "http://127.0.0.1:8642) and poll it to "
+                            "completion instead of executing locally")
+    sweep.add_argument("--poll-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="--submit progress poll interval (default: 0.5)")
     sweep.add_argument("--metrics-snapshot", default=None, metavar="FILE",
                        help="write the final telemetry snapshot JSON here "
                             "(also on interrupt); implies nothing unless "
@@ -1244,6 +1408,48 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append frames instead of clearing the "
                               "screen (for logs/CI)")
     monitor.set_defaults(func=cmd_monitor)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="campaign scheduler daemon: accept campaign JSON over local "
+             "HTTP (POST /campaigns), dedupe against the store index and "
+             "execute through the campaign engine")
+    serve.add_argument("--store", required=True,
+                       help="result-store directory the daemon serves "
+                            "and persists into")
+    serve.add_argument("--port", type=int, default=0, metavar="PORT",
+                       help="HTTP port on 127.0.0.1 (default: 0 = "
+                            "ephemeral, printed at startup)")
+    serve.add_argument("--processes", type=int, default=None,
+                       help="pool size per job (default: serial)")
+    serve.add_argument("--lanes", type=int, default=None,
+                       help="shard batched seed groups across this many "
+                            "lanes (as sweep --lanes)")
+    serve.add_argument("--no-batch-seeds", action="store_true",
+                       help="disable vectorised seed batching for "
+                            "submitted jobs")
+    serve.set_defaults(func=cmd_serve)
+
+    store_parser = subparsers.add_parser(
+        "store", help="result-store hygiene: fsck (verify) and gc (collect)")
+    store_sub = store_parser.add_subparsers(dest="store_command",
+                                            required=True)
+    fsck = store_sub.add_parser(
+        "fsck",
+        help="verify entries against their content addresses and the "
+             "sidecar index against the entries (read-only; exit 1 on "
+             "problems)")
+    fsck.add_argument("root", help="result-store directory to check")
+    fsck.set_defaults(func=cmd_store_fsck)
+    gc = store_sub.add_parser(
+        "gc",
+        help="drop failed/corrupt entries, orphan index rows and stale "
+             "temp files, then compact the sidecar index")
+    gc.add_argument("root", help="result-store directory to collect")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed without changing "
+                         "anything")
+    gc.set_defaults(func=cmd_store_gc)
     return parser
 
 

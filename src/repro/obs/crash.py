@@ -9,9 +9,11 @@ losing it, :func:`write_crash_report` writes one ``*.crash.json`` with
 * a small context block from the caller (reason, scenario name, exit
   code, whatever the call site knows).
 
-The report lands *beside the store* when a result store is in play
-(``<store>/<name>.crash.json``), else next to the trace file, else in
-the working directory — always somewhere the operator already looks.
+The report lands in the explicit ``crash_dir`` when one is given (the
+CLI's global ``--crash-dir``), else *beside the store* when a result
+store is in play (``<store>/<name>.crash.json``), else next to the
+trace file, else in the working directory — always somewhere the
+operator already looks.
 """
 
 from __future__ import annotations
@@ -28,10 +30,17 @@ __all__ = ["write_crash_report", "crash_report_path"]
 
 
 def crash_report_path(name: str, *, store_root: Optional[str] = None,
-                      trace_path: Optional[str] = None) -> str:
-    """Where a crash report for ``name`` should land (see module doc)."""
+                      trace_path: Optional[str] = None,
+                      crash_dir: Optional[str] = None) -> str:
+    """Where a crash report for ``name`` should land (see module doc).
+
+    An explicit ``crash_dir`` (the CLI's global ``--crash-dir``) wins over
+    every inferred location.
+    """
     safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in name)
     filename = f"{safe}.crash.json"
+    if crash_dir:
+        return os.path.join(crash_dir, filename)
     if store_root:
         return os.path.join(store_root, filename)
     if trace_path:
@@ -43,6 +52,7 @@ def crash_report_path(name: str, *, store_root: Optional[str] = None,
 def write_crash_report(name: str, reason: str, *,
                        store_root: Optional[str] = None,
                        trace_path: Optional[str] = None,
+                       crash_dir: Optional[str] = None,
                        tracer: Optional[Union[Tracer, NullTracer]] = None,
                        registry: Optional[Union[MetricsRegistry,
                                                 NullRegistry]] = None,
@@ -70,7 +80,7 @@ def write_crash_report(name: str, reason: str, *,
         "metrics": registry.snapshot(),
     }
     path = crash_report_path(name, store_root=store_root,
-                             trace_path=trace_path)
+                             trace_path=trace_path, crash_dir=crash_dir)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.obs.telemetry import MetricsRegistry, NullRegistry, get_registry
 
@@ -37,16 +37,29 @@ class _Handler(BaseHTTPRequestHandler):
     owner: "MetricsServer"
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        path = self.path.split("?", 1)[0]
-        if path == "/metrics":
-            body = self.owner.registry.render_prometheus().encode("utf-8")
-            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
-        elif path == "/healthz":
+        self._dispatch("GET", b"")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        self._dispatch("POST", body)
+
+    def _dispatch(self, method: str, body: bytes) -> None:
+        path, _, query = self.path.partition("?")
+        if self.owner.routes is not None:
+            handled = self.owner.routes(method, path, query, body)
+            if handled is not None:
+                self._reply(*handled)
+                return
+        if method == "GET" and path == "/metrics":
+            text = self.owner.registry.render_prometheus().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, text)
+        elif method == "GET" and path == "/healthz":
             self._reply(200, "text/plain; charset=utf-8", b"ok\n")
-        elif path == "/status":
-            body = json.dumps(self.owner.status(), indent=2,
+        elif method == "GET" and path == "/status":
+            text = json.dumps(self.owner.status(), indent=2,
                               sort_keys=True).encode("utf-8")
-            self._reply(200, "application/json; charset=utf-8", body)
+            self._reply(200, "application/json; charset=utf-8", text)
         else:
             self._reply(404, "text/plain; charset=utf-8", b"not found\n")
 
@@ -77,16 +90,27 @@ class MetricsServer:
         Zero-argument callable returning the JSON-serialisable ``/status``
         document.  The owner updates whatever state it closes over (a
         campaign-progress dict, a supervisor's ``report()``).
+    routes:
+        Optional application router tried *before* the built-in
+        endpoints: ``routes(method, path, query_string, body)`` returns
+        ``(status_code, content_type, body_bytes)`` to handle the
+        request, or ``None`` to fall through to ``/metrics`` / ``/healthz``
+        / ``/status`` / 404.  This is how the campaign scheduler daemon
+        mounts ``POST /campaigns`` etc. on the same listener as its
+        telemetry.
     """
 
     def __init__(self, port: int = 0, *,
                  registry: Optional[Union[MetricsRegistry,
                                           NullRegistry]] = None,
-                 status: Optional[Callable[[], Dict[str, Any]]] = None
-                 ) -> None:
+                 status: Optional[Callable[[], Dict[str, Any]]] = None,
+                 routes: Optional[Callable[[str, str, str, bytes],
+                                           Optional[Tuple[int, str, bytes]]]]
+                 = None) -> None:
         self._requested_port = port
         self.registry = registry if registry is not None else get_registry()
         self.status = status if status is not None else (lambda: {})
+        self.routes = routes
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 

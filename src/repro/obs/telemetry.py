@@ -468,6 +468,17 @@ METRIC_HELP: Dict[str, str] = {
     "repro_store_op_seconds": "ResultStore operation latency, by op",
     "repro_store_ops_total": "ResultStore operations, by op",
     "repro_store_entries": "Entries in the result store",
+    "repro_store_index_rebuilds_total":
+        "Sidecar index shards rebuilt from entry payloads",
+    "repro_runtime_cache_total":
+        "repro.runtime.run() store lookups, by result (hit/miss)",
+    "repro_scheduler_jobs_total":
+        "Scheduler campaign jobs reaching a terminal state (done/failed)",
+    "repro_scheduler_jobs_pending":
+        "Campaign jobs queued or running in the scheduler daemon",
+    "repro_scheduler_scenarios_deduped_total":
+        "Scenarios a submitted campaign already had in the store at "
+        "submission time",
     "repro_step_phase_seconds":
         "Per-phase protocol step duration, by runtime and phase",
     "repro_gar_decisions_total":

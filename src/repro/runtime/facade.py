@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.kernels import use_backend
+from repro.obs.telemetry import get_registry
 from repro.obs.tracer import use_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports (cycles otherwise)
@@ -91,7 +92,12 @@ def run(spec: "ScenarioSpec", *, store: Optional["ResultStore"] = None,
     store_key: Optional[str] = None
     if store is not None:
         store_key = spec.spec_hash()
-        if store.contains(store_key):
+        hit = store.contains(store_key)
+        registry = get_registry()
+        if registry.enabled:
+            registry.inc("repro_runtime_cache_total",
+                         result="hit" if hit else "miss")
+        if hit:
             stored = store.get(store_key)
             # The hash excludes the name: relabel for this caller's view.
             stored.history.label = spec.name

@@ -210,10 +210,13 @@ class TestSweep:
             grid={"seed": [0, 1]})
         path = tmp_path / "campaign.json"
         path.write_text(campaign.to_json())
-        code, out = _run(capsys, ["sweep", "--spec", str(path),
+        code, out = _run(capsys, ["--crash-dir", str(tmp_path),
+                                  "sweep", "--spec", str(path),
                                   "--batch-seeds", "--processes", "1"])
         assert code == 1
         assert "failed 2" in out
+        # the flight recorder honoured --crash-dir instead of the CWD
+        assert (tmp_path / "failing-batched.crash.json").is_file()
 
     def test_sweep_without_store_does_not_cache(self, capsys):
         argv = ["--steps", "4"] + BASE_ARGS[2:] + [
@@ -288,10 +291,12 @@ class TestSweep:
                                "kwargs": {"num_classes": 10}})])
         path = tmp_path / "campaign.json"
         path.write_text(campaign.to_json())
-        code, out = _run(capsys, ["sweep", "--spec", str(path),
+        code, out = _run(capsys, ["--crash-dir", str(tmp_path),
+                                  "sweep", "--spec", str(path),
                                   "--processes", "1"])
         assert code == 1
         assert "FAILED bad" in out
+        assert (tmp_path / "failing.crash.json").is_file()
 
     def test_adversary_axis_sweep(self, capsys, tmp_path):
         argv = ["--steps", "4", "--workers-count", "9",
@@ -465,3 +470,74 @@ class TestObservability:
     def test_unknown_log_level_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["--log-level", "loud", "table1"])
+
+
+class TestStoreSubcommand:
+    """``repro store fsck`` / ``repro store gc`` against a real store."""
+
+    def _seed_store(self, root, *, failed=False):
+        from repro.campaign import ResultStore, ScenarioSpec
+        from repro.obs import StepRecord, TrainingHistory
+
+        store = ResultStore(root)
+        history = TrainingHistory(label="t")
+        history.add(StepRecord(step=1, simulated_time=1.0,
+                               test_accuracy=0.5))
+        keys = []
+        for seed in (1, 2):
+            spec = ScenarioSpec(name=f"s{seed}", num_workers=6,
+                                num_servers=3,
+                                declared_byzantine_workers=1,
+                                declared_byzantine_servers=0, seed=seed)
+            keys.append(store.put(
+                spec, history,
+                status="failed" if failed and seed == 2 else "ran"))
+        return store, keys
+
+    def test_fsck_ok_on_healthy_store(self, capsys, tmp_path):
+        self._seed_store(tmp_path / "store")
+        code, out = _run(capsys, ["store", "fsck",
+                                  str(tmp_path / "store")])
+        assert code == 0
+        assert "ok: entries, index and telemetry agree" in out
+
+    def test_fsck_reports_corruption_and_exits_1(self, capsys, tmp_path):
+        store, keys = self._seed_store(tmp_path / "store")
+        store.path_for(keys[0]).write_text("truncated")
+        report_path = tmp_path / "report.json"
+        code, out = _run(capsys, ["--json", str(report_path), "store",
+                                  "fsck", str(tmp_path / "store")])
+        assert code == 1
+        assert "corrupt_entry" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is False
+        assert report["issues"][0]["kind"] == "corrupt_entry"
+
+    def test_gc_dry_run_then_real(self, capsys, tmp_path):
+        store, keys = self._seed_store(tmp_path / "store", failed=True)
+        code, out = _run(capsys, ["store", "gc", str(tmp_path / "store"),
+                                  "--dry-run"])
+        assert code == 0
+        assert "would remove 1 failed" in out
+        assert store.contains(keys[1])
+
+        code, out = _run(capsys, ["store", "gc", str(tmp_path / "store")])
+        assert code == 0
+        assert "removed 1 failed" in out
+        assert not store.contains(keys[1])
+
+        code, out = _run(capsys, ["store", "fsck",
+                                  str(tmp_path / "store")])
+        assert code == 0
+
+    def test_store_requires_an_action(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["store"])
+
+    def test_submit_to_unreachable_scheduler_exits_2(self, capsys, tmp_path):
+        code = cli.main(["--steps", "4", "--workers-count", "6",
+                         "--servers-count", "3", "sweep", "--gars",
+                         "median", "--seeds", "0",
+                         "--submit", "http://127.0.0.1:9"])
+        assert code == 2
+        assert "cannot reach scheduler" in capsys.readouterr().err
